@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``benchmarks/test_eN_*.py`` regenerates one experiment from
+DESIGN.md's experiment index: it prints a paper-vs-measured table
+(visible with ``pytest benchmarks/ --benchmark-only -s``), asserts the
+qualitative claim, and times the central computation with
+pytest-benchmark.  Measured values are also attached to
+``benchmark.extra_info`` so they appear in ``--benchmark-json`` output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(table) -> None:
+    """Print an ExperimentTable and fail the test if any row mismatches."""
+    print()
+    print(table.render())
+    assert table.all_ok, f"{table.experiment}: reproduction mismatch"
+
+
+@pytest.fixture
+def record_rows():
+    """Collects (setting, paper, measured, ok) rows, prints on teardown."""
+    from repro.analysis import ExperimentTable
+
+    tables = []
+
+    def make(experiment: str, claim: str):
+        t = ExperimentTable(experiment, claim)
+        tables.append(t)
+        return t
+
+    yield make
+    for t in tables:
+        print()
+        print(t.render())

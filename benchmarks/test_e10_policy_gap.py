@@ -1,0 +1,92 @@
+"""E10 — Single vs Multiple: the value of splitting requests.
+
+Paper motivation (Sections 1–2): the Multiple policy "distributes the
+processing of requests over the platform"; its optimum can never exceed
+the Single optimum, and the complexity landscape differs sharply.
+
+Regenerated here: exact optima under both policies on identical binary
+trees — gap distribution (must be ≥ 0), plus the heuristic-level gap
+(multiple-bin vs single-gen) on larger trees where exact search is out
+of reach.  The timed kernel is the paired heuristic solve.
+"""
+
+from __future__ import annotations
+
+from repro import Policy, multiple_bin, single_gen
+from repro.algorithms import exact_multiple, exact_single
+from repro.analysis import ExperimentTable, policy_gap
+from repro.instances import random_binary_tree
+
+from conftest import emit
+
+
+def test_e10_exact_policy_gap():
+    table = ExperimentTable(
+        "E10 (policy gap)",
+        "opt_Multiple <= opt_Single on every instance; splitting helps "
+        "when demands straddle the capacity",
+    )
+    insts = [
+        random_binary_tree(
+            5, 6, capacity=7, dmax=4.0 if s % 2 else None,
+            policy=Policy.SINGLE, seed=s, request_range=(1, 7),
+        )
+        for s in range(16)
+    ]
+    rows = policy_gap(insts, exact_single, exact_multiple)
+    gaps = [r["gap"] for r in rows]
+    table.add(
+        "16 random binary instances",
+        "gap >= 0 everywhere",
+        f"gaps min {min(gaps)}, max {max(gaps)}, "
+        f"mean {sum(gaps) / len(gaps):.2f}",
+        all(g >= 0 for g in gaps),
+    )
+    table.add(
+        "splitting strictly helps somewhere",
+        "max gap >= 1 on demand-straddling mixes",
+        f"instances with gap>0: {sum(g > 0 for g in gaps)}/{len(gaps)}",
+        max(gaps) >= 1,
+    )
+    emit(table)
+
+
+def test_e10_heuristic_gap_large_trees():
+    table = ExperimentTable(
+        "E10b (heuristic gap, large)",
+        "multiple-bin uses no more replicas than single-gen's Single "
+        "solution needs (large-tree regime, heuristic level)",
+    )
+    wins = 0
+    n = 10
+    for s in range(n):
+        inst = random_binary_tree(
+            40, 41, capacity=15, dmax=10.0, policy=Policy.SINGLE,
+            seed=s, request_range=(1, 15),
+        )
+        single = single_gen(inst).n_replicas
+        multi = multiple_bin(inst.with_policy(Policy.MULTIPLE)).n_replicas
+        wins += multi <= single
+    table.add(
+        f"{n} trees, |T|≈81",
+        "multiple <= single typically",
+        f"multiple wins/ties {wins}/{n}",
+        wins >= n - 1,
+    )
+    emit(table)
+
+
+def test_e10_paired_solve_benchmark(benchmark):
+    inst = random_binary_tree(
+        40, 41, capacity=15, dmax=10.0, policy=Policy.SINGLE,
+        seed=3, request_range=(1, 15),
+    )
+
+    def paired():
+        s = single_gen(inst).n_replicas
+        m = multiple_bin(inst.with_policy(Policy.MULTIPLE)).n_replicas
+        return s, m
+
+    s, m = benchmark(paired)
+    benchmark.extra_info["single"] = s
+    benchmark.extra_info["multiple"] = m

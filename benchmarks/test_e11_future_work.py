@@ -1,0 +1,97 @@
+"""E11 — Section 5 future work: toward a 3/2-approximation.
+
+Paper claim (conjecture): a 3/2-approximation for Single-NoD-Bin should
+exist; the suggested direction is "to push servers towards the root of
+the tree, whenever possible" because "a greedy algorithm is unlikely to
+be good enough".
+
+Measured here (these are *our* constructions in the paper's suggested
+direction — measured, not proven):
+
+* ``single_push`` (single-nod + root-pushing local search) against
+  exact optima on random binary NoD instances — observed worst ratio
+  vs the conjectured 3/2 and vs single-nod's proven 2;
+* the packing-rule ablation ``single_nod_bestfit`` — quantifies how
+  much of single-nod's slack is the proof-friendly smallest-first rule
+  (it is exactly what loses factor 2 on the Fig. 4 family).
+"""
+
+from __future__ import annotations
+
+from repro import Policy, single_nod, single_nod_bestfit, single_push
+from repro.algorithms import exact_single
+from repro.analysis import ExperimentTable, measure_ratios
+from repro.instances import random_tree, single_nod_tight_instance
+
+from conftest import emit
+
+
+def _nod_bin_instances(n=20):
+    return [
+        random_tree(
+            8, 8, capacity=12, dmax=None, policy=Policy.SINGLE,
+            seed=s, max_arity=2, request_range=(1, 12),
+        )
+        for s in range(n)
+    ]
+
+
+def test_e11_push_toward_root():
+    table = ExperimentTable(
+        "E11 (Sec. 5 future work)",
+        "conjecture: 3/2-approx for Single-NoD-Bin via pushing servers "
+        "to the root — measured on random Single-NoD-Bin instances",
+    )
+    insts = _nod_bin_instances()
+    ref = lambda i: exact_single(i).n_replicas  # noqa: E731
+    base = measure_ratios(insts, single_nod, ref)
+    push = measure_ratios(insts, single_push, ref)
+    bf = measure_ratios(insts, single_nod_bestfit, ref)
+    table.add(
+        "single-nod (proven 2)",
+        "max <= 2",
+        f"max {base.max_ratio:.3f}, mean {base.mean_ratio:.3f}",
+        base.all_valid and base.max_ratio <= 2 + 1e-9,
+    )
+    table.add(
+        "single-push (conjectured direction)",
+        "max <= 1.5 (conjecture)",
+        f"max {push.max_ratio:.3f}, mean {push.mean_ratio:.3f}, "
+        f"optimal {push.optimal_fraction * 100:.0f}%",
+        push.all_valid and push.max_ratio <= 1.5 + 1e-9,
+    )
+    table.add(
+        "ablation: best-fit packing",
+        "valid; no ratio proof",
+        f"max {bf.max_ratio:.3f}, mean {bf.mean_ratio:.3f}",
+        bf.all_valid,
+    )
+    emit(table)
+
+
+def test_e11_fig4_family_fixed():
+    table = ExperimentTable(
+        "E11b (Fig. 4 family revisited)",
+        "the tight-family pathology disappears under both refinements",
+    )
+    for K in (6, 12, 20):
+        inst, opt = single_nod_tight_instance(K)
+        sf = single_nod(inst).n_replicas
+        bf = single_nod_bestfit(inst).n_replicas
+        push = single_push(inst).n_replicas
+        table.add(
+            f"K={K}",
+            f"single-nod {2 * K}, opt {K + 1}",
+            f"single-nod {sf}, best-fit {bf}, push {push}",
+            sf == 2 * K and bf <= K + 1 and push < sf,
+        )
+    emit(table)
+
+
+def test_e11_single_push_benchmark(benchmark):
+    inst = random_tree(
+        60, 60, capacity=20, dmax=None, policy=Policy.SINGLE,
+        seed=0, max_arity=2, request_range=(1, 20),
+    )
+    p = benchmark(single_push, inst)
+    benchmark.extra_info["replicas"] = p.n_replicas

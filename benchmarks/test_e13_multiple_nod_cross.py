@@ -1,0 +1,104 @@
+"""E13 — background result [3]: Multiple-NoD is polynomial.
+
+The paper builds on Benoit, Rehn-Sonigo & Robert (2008): Multiple
+without distance constraints is solvable in polynomial time, and
+Algorithm 3 degenerates to it on binary trees.  This bench
+cross-validates the library's three independent Multiple-NoD solvers —
+the pseudo-polynomial DP (``multiple_nod_dp``), the branch-and-bound
+exact solver, and Algorithm 3 (binary only) — and times the polynomial
+ones against each other (the B&B is exponential and excluded from the
+large-size timing).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Policy, is_valid, multiple_bin, multiple_nod_dp
+from repro.algorithms import exact_multiple
+from repro.analysis import ExperimentTable
+from repro.instances import random_binary_tree, random_tree
+
+from conftest import emit
+
+
+def test_e13_three_way_agreement():
+    table = ExperimentTable(
+        "E13 (ref. [3], Multiple-NoD)",
+        "DP, branch-and-bound and Algorithm 3 (binary) agree on the "
+        "Multiple-NoD optimum",
+    )
+    agree3 = total3 = 0
+    for seed in range(25):
+        inst = random_binary_tree(
+            5, 6, capacity=8, dmax=None, policy=Policy.MULTIPLE,
+            seed=seed, request_range=(1, 8),
+        )
+        dp = multiple_nod_dp(inst)
+        assert is_valid(inst, dp)
+        total3 += 1
+        agree3 += (
+            dp.n_replicas
+            == exact_multiple(inst).n_replicas
+            == multiple_bin(inst).n_replicas
+        )
+    table.add(
+        "binary, 25 instances",
+        "3-way agreement 100%",
+        f"{agree3}/{total3}",
+        agree3 == total3,
+    )
+    agree2 = total2 = 0
+    for seed in range(15):
+        inst = random_tree(
+            4, 8, capacity=10, dmax=None, policy=Policy.MULTIPLE,
+            seed=seed, max_arity=4, request_range=(1, 10),
+        )
+        dp = multiple_nod_dp(inst)
+        assert is_valid(inst, dp)
+        total2 += 1
+        agree2 += dp.n_replicas == exact_multiple(inst).n_replicas
+    table.add(
+        "arity 4, 15 instances",
+        "DP == B&B 100%",
+        f"{agree2}/{total2}",
+        agree2 == total2,
+    )
+    emit(table)
+
+
+def test_e13_oversized_clients_polynomial_without_distance():
+    """Theorem 5's hardness needs *both* r_i > W and distances: the DP
+    handles oversized clients effortlessly under NoD."""
+    from repro import ProblemInstance, TreeBuilder
+
+    b = TreeBuilder()
+    r = b.add_root()
+    n = b.add(r, delta=1.0)
+    b.add(n, delta=1.0, requests=23)  # needs ceil(23/5) = 5 hosts... path has 3
+    inst_bad = ProblemInstance(b.build(), 5, None, Policy.MULTIPLE)
+    with pytest.raises(Exception):
+        multiple_nod_dp(inst_bad)
+
+    b = TreeBuilder()
+    r = b.add_root()
+    n = b.add(r, delta=1.0)
+    b.add(n, delta=1.0, requests=13)  # 3 path hosts x W=5 >= 13
+    inst = ProblemInstance(b.build(), 5, None, Policy.MULTIPLE)
+    p = multiple_nod_dp(inst)
+    assert is_valid(inst, p)
+    assert p.n_replicas == 3
+
+
+@pytest.mark.parametrize(
+    "name,solver",
+    [("dp", multiple_nod_dp), ("multiple-bin", multiple_bin)],
+)
+def test_e13_polynomial_solver_benchmarks(benchmark, name, solver):
+    inst = random_binary_tree(
+        60, 61, capacity=12, dmax=None, policy=Policy.MULTIPLE,
+        seed=4, request_range=(1, 12),
+    )
+    p = benchmark(solver, inst)
+    benchmark.extra_info["replicas"] = p.n_replicas
+    assert is_valid(inst, p)

@@ -1,0 +1,86 @@
+"""E14 — provisioning curves: replicas vs dmax and vs W.
+
+Not a paper table (the paper fixes W and dmax); this regenerates the
+*qualitative* statement implicit throughout Sections 1–2: tightening
+the QoS bound or shrinking the servers can only cost replicas.  For the
+exact solver both curves are provably non-increasing; the bench asserts
+that and reports where the heuristic curve deviates (greedy
+non-monotonicity is possible and worth quantifying).
+"""
+
+from __future__ import annotations
+
+from repro import Policy, single_gen
+from repro.algorithms import exact_single
+from repro.analysis import ExperimentTable, capacity_sweep, dmax_sweep, knee
+from repro.instances import random_tree
+
+from conftest import emit
+
+DMAX_GRID = [2.0, 3.0, 4.5, 6.0, 9.0, None]
+W_GRID = [8, 10, 14, 20, 30, 50]
+
+
+def _inst(seed=7):
+    return random_tree(
+        4, 7, capacity=10, dmax=6.0, policy=Policy.SINGLE,
+        seed=seed, max_arity=3, request_range=(1, 8),
+    )
+
+
+def test_e14_exact_monotone_curves():
+    table = ExperimentTable(
+        "E14 (provisioning curves)",
+        "exact replica count is non-increasing in dmax and in W",
+    )
+    for seed in (7, 8, 9):
+        inst = _inst(seed)
+        dpts = dmax_sweep(inst, exact_single, DMAX_GRID)
+        dcounts = [p.replicas for p in dpts]
+        wpts = capacity_sweep(inst, exact_single, W_GRID)
+        wcounts = [p.replicas for p in wpts]
+        ok = (
+            dcounts == sorted(dcounts, reverse=True)
+            and wcounts == sorted(wcounts, reverse=True)
+            and all(p.valid for p in dpts + wpts)
+        )
+        k = knee(dpts)
+        table.add(
+            f"seed={seed}",
+            "both curves monotone",
+            f"dmax curve {dcounts}, W curve {wcounts}, "
+            f"knee at dmax={'NoD' if k.value == float('inf') else k.value}",
+            ok,
+        )
+    emit(table)
+
+
+def test_e14_heuristic_deviation_quantified():
+    table = ExperimentTable(
+        "E14b (heuristic curve)",
+        "single-gen curves are near-monotone; deviations quantified "
+        "(greedy algorithms carry no monotonicity guarantee)",
+    )
+    bumps = 0
+    total = 0
+    for seed in range(10):
+        pts = dmax_sweep(_inst(seed), single_gen, DMAX_GRID)
+        counts = [p.replicas for p in pts]
+        total += len(counts) - 1
+        bumps += sum(
+            1 for a, b in zip(counts, counts[1:]) if b > a
+        )
+        assert all(p.valid for p in pts)
+    table.add(
+        "10 instances x 6 dmax values",
+        "few monotonicity violations",
+        f"{bumps}/{total} increasing steps",
+        bumps <= total * 0.2,
+    )
+    emit(table)
+
+
+def test_e14_sweep_benchmark(benchmark):
+    inst = _inst(7)
+    pts = benchmark(dmax_sweep, inst, single_gen, DMAX_GRID)
+    benchmark.extra_info["curve"] = [p.replicas for p in pts]

@@ -1,0 +1,70 @@
+"""E2 — Theorem 2 / Fig. 2: the 2-Partition gap reduction (instance I4).
+
+Paper claim: unless P=NP there is no (3/2 − ε)-approximation for
+Single-NoD-Bin, because on instance *I4* the optimum is 2 iff the
+2-Partition input is a *yes*-instance, and any ratio-<3/2 algorithm
+must then return exactly 2.
+
+Regenerated here: exact optimum == 2 ⟺ partition exists, the
+*yes*-direction placement is validated, and the gap-decision wrapper
+recovers the partition answer from the exact solver's output.
+"""
+
+from __future__ import annotations
+
+from repro import is_valid
+from repro.algorithms import exact_single
+from repro.analysis import ExperimentTable
+from repro.reductions import (
+    build_i4,
+    i4_gap_decision,
+    placement_from_two_partition,
+    solve_two_partition,
+)
+
+from conftest import emit
+
+INSTANCES = [
+    [3, 1, 2, 2],        # yes: {3,1} vs {2,2}
+    [2, 2, 2, 2],        # yes
+    [5, 4, 2, 1],        # yes: {5,1} vs {4,2}
+    [7, 3, 3, 3],        # no: nothing sums to 8
+    [6, 5, 2, 3],        # yes: {6,2} vs {5,3}
+    [9, 5, 3, 3, 3, 3],  # no: S=26, target 13: 9+3=12, 9+3+3=15, 5+3+3=11, 5+3+3+3=14... 9+... -> 13 = 9+3+... no 1; 5+3+3+3=14; no
+]
+
+
+def test_e2_gap_equivalence():
+    table = ExperimentTable(
+        "E2 (Thm 2, Fig. 2)",
+        "opt(I4) == 2 iff 2-Partition is a yes-instance "
+        "(the engine of the 3/2-inapproximability)",
+    )
+    for a in INSTANCES:
+        subset = solve_two_partition(a)
+        yes = subset is not None
+        inst, clients = build_i4(a)
+        opt = exact_single(inst).n_replicas
+        ok = (opt == 2) == yes and i4_gap_decision(opt) == yes
+        if yes:
+            p = placement_from_two_partition(inst, clients, subset)
+            ok = ok and is_valid(inst, p) and p.n_replicas == 2
+        table.add(
+            f"a={a}",
+            "opt = 2" if yes else "opt >= 3",
+            f"opt = {opt}",
+            ok,
+        )
+    emit(table)
+
+
+def test_e2_reduction_pipeline_benchmark(benchmark):
+    a = [6, 5, 2, 3, 4, 4, 5, 3]
+
+    def pipeline():
+        inst, _clients = build_i4(a)
+        return exact_single(inst).n_replicas
+
+    opt = benchmark(pipeline)
+    benchmark.extra_info["optimum"] = opt
+    assert (opt == 2) == (solve_two_partition(a) is not None)

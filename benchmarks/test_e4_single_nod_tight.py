@@ -1,0 +1,53 @@
+"""E4 — Theorem 4 / Fig. 4: single-nod's tight factor 2.
+
+Paper claim: ``single-nod`` is a 2-approximation for Single-NoD, and on
+the Fig. 4 family (W = K, K subtrees of a full-server client plus a
+unit client) it opens ``2K`` replicas against an optimum of ``K+1``:
+the factor 2 cannot be improved.
+
+Regenerated here for K = 2..40; the timed kernel is ``single_nod`` on
+the largest family member.
+"""
+
+from __future__ import annotations
+
+from repro import is_valid, single_nod
+from repro.analysis import ExperimentTable
+from repro.instances import single_nod_tight_instance
+
+from conftest import emit
+
+
+def test_e4_ratio_series():
+    table = ExperimentTable(
+        "E4 (Thm 4, Fig. 4)",
+        "single-nod opens 2K replicas vs opt K+1: ratio 2K/(K+1) → 2",
+    )
+    prev = 0.0
+    for K in (2, 3, 5, 8, 12, 20, 40):
+        inst, opt = single_nod_tight_instance(K)
+        p = single_nod(inst)
+        ratio = p.n_replicas / opt.n_replicas
+        ok = (
+            is_valid(inst, p)
+            and is_valid(inst, opt)
+            and p.n_replicas == 2 * K
+            and opt.n_replicas == K + 1
+            and ratio >= prev
+        )
+        prev = ratio
+        table.add(
+            f"K={K}",
+            f"{2 * K} vs {K + 1} (ratio {2 * K / (K + 1):.3f})",
+            f"{p.n_replicas} vs {opt.n_replicas} (ratio {ratio:.3f})",
+            ok,
+        )
+    assert prev > 1.95  # K=40 -> 80/41 ≈ 1.951
+    emit(table)
+
+
+def test_e4_single_nod_benchmark(benchmark):
+    inst, _opt = single_nod_tight_instance(40)
+    p = benchmark(single_nod, inst)
+    benchmark.extra_info["replicas"] = p.n_replicas
+    assert p.n_replicas == 80

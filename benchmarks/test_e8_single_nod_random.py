@@ -1,0 +1,83 @@
+"""E8 — Theorem 4 in practice: single-nod's ratio on random trees.
+
+Paper claim: factor 2 is worst-case; ``single-nod`` refines
+``single-gen`` when there is no distance constraint, so it should beat
+or match it on NoD instances while never exceeding twice the optimum.
+
+Regenerated here: ratio distributions of both algorithms against the
+exact optimum on the same NoD instances; head-to-head win/loss counts;
+local-search post-processing measured as a second ablation.
+"""
+
+from __future__ import annotations
+
+from repro import Policy, improve_single, single_gen, single_nod
+from repro.algorithms import exact_single
+from repro.analysis import ExperimentTable, measure_ratios
+from repro.instances import random_tree
+
+from conftest import emit
+
+
+def _instances(n=20):
+    return [
+        random_tree(
+            4, 8, capacity=12, dmax=None, policy=Policy.SINGLE,
+            seed=s, max_arity=3, request_range=(1, 12),
+        )
+        for s in range(n)
+    ]
+
+
+def test_e8_ratio_and_head_to_head():
+    table = ExperimentTable(
+        "E8 (Thm 4, random)",
+        "single-nod ratio <= 2 always; refines single-gen on NoD inputs",
+    )
+    insts = _instances()
+    ref = lambda i: exact_single(i).n_replicas  # noqa: E731
+    nod = measure_ratios(insts, single_nod, ref)
+    gen = measure_ratios(insts, single_gen, ref)
+    improved = measure_ratios(
+        insts, lambda i: improve_single(i, single_nod(i)), ref
+    )
+    table.add(
+        "single-nod",
+        "max ratio <= 2",
+        f"max {nod.max_ratio:.3f}, mean {nod.mean_ratio:.3f}, "
+        f"optimal {nod.optimal_fraction * 100:.0f}%",
+        nod.all_valid and nod.max_ratio <= 2 + 1e-9,
+    )
+    table.add(
+        "single-gen (same inputs)",
+        "max ratio <= Δ = 3",
+        f"max {gen.max_ratio:.3f}, mean {gen.mean_ratio:.3f}",
+        gen.all_valid and gen.max_ratio <= 3 + 1e-9,
+    )
+    wins = sum(
+        n.solver_value <= g.solver_value
+        for n, g in zip(nod.samples, gen.samples)
+    )
+    table.add(
+        "head-to-head",
+        "single-nod <= single-gen typically",
+        f"single-nod wins/ties {wins}/{len(insts)}",
+        wins >= len(insts) // 2,
+    )
+    table.add(
+        "ablation: + local search",
+        "mean ratio improves or ties",
+        f"mean {improved.mean_ratio:.3f} (from {nod.mean_ratio:.3f})",
+        improved.all_valid and improved.mean_ratio <= nod.mean_ratio + 1e-9,
+    )
+    emit(table)
+
+
+def test_e8_single_nod_large_benchmark(benchmark):
+    inst = random_tree(
+        300, 600, capacity=40, dmax=None, policy=Policy.SINGLE,
+        seed=0, max_arity=4, request_range=(1, 40),
+    )
+    p = benchmark(single_nod, inst)
+    benchmark.extra_info["replicas"] = p.n_replicas
+    benchmark.extra_info["nodes"] = len(inst.tree)

@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""A tour of the paper's theory: tight instances, reductions, policies.
+
+Walks through every theorem with executable artifacts:
+
+* Theorem 1/2 — build the NP-hardness instances *I2*/*I4* from
+  partition problems and watch the optimum flip with the partition
+  answer;
+* Theorem 3/4 — the tight families where single-gen and single-nod hit
+  their worst cases, versus the hand-crafted optima;
+* Theorem 5 — instance *I6*, where one oversized client makes
+  Multiple-Bin NP-hard (and Algorithm 3 refuses to run);
+* Theorem 6 — multiple-bin matching the exact optimum, and the one
+  regime where the literal algorithm is off by one (finding F1).
+
+Run: ``python examples/policy_and_hardness_tour.py``
+"""
+
+from repro import (
+    InvalidInstanceError,
+    Policy,
+    check_placement,
+    multiple_bin,
+    single_gen,
+    single_nod,
+)
+from repro.algorithms import exact_multiple, exact_single
+from repro.instances import (
+    random_binary_tree,
+    single_gen_tight_instance,
+    single_nod_tight_instance,
+)
+from repro.reductions import (
+    build_i2,
+    build_i4,
+    build_i6,
+    i6_decision,
+    solve_three_partition,
+    solve_two_partition,
+    solve_two_partition_equal,
+)
+
+
+def theorem_1_2() -> None:
+    print("== Theorems 1 & 2: Single-NoD-Bin is NP-hard and 3/2-inapprox ==")
+    a3, B = [30, 30, 30, 23, 31, 36], 90
+    inst, _ = build_i2(a3, B)
+    yes = solve_three_partition(a3, B) is not None
+    opt = exact_single(inst).n_replicas
+    print(f"I2 from 3-Partition {a3}: partition {'exists' if yes else 'absent'}"
+          f" -> optimum {opt} (threshold m = {len(a3) // 3})")
+
+    a2 = [7, 3, 3, 3]
+    inst4, _ = build_i4(a2)
+    yes2 = solve_two_partition(a2) is not None
+    opt2 = exact_single(inst4).n_replicas
+    print(f"I4 from 2-Partition {a2}: partition {'exists' if yes2 else 'absent'}"
+          f" -> optimum {opt2} (2 iff yes; a <3/2-approx would decide this)\n")
+
+
+def theorems_3_4() -> None:
+    print("== Theorems 3 & 4: tight approximation families ==")
+    for m, arity in [(4, 3)]:
+        inst, opt = single_gen_tight_instance(m, arity)
+        p = single_gen(inst)
+        check_placement(inst, p)
+        print(f"I_m (m={m}, Δ={arity}): single-gen {p.n_replicas} vs "
+              f"optimal {opt.n_replicas} — ratio "
+              f"{p.n_replicas / opt.n_replicas:.2f} → Δ+1 = {arity + 1}")
+    inst, opt = single_nod_tight_instance(10)
+    p = single_nod(inst)
+    check_placement(inst, p)
+    print(f"Fig.4 (K=10): single-nod {p.n_replicas} vs optimal "
+          f"{opt.n_replicas} — ratio {p.n_replicas / opt.n_replicas:.2f} → 2\n")
+
+
+def theorem_5() -> None:
+    print("== Theorem 5: one oversized client makes Multiple-Bin NP-hard ==")
+    a = [3, 5, 4, 6, 2, 4]
+    inst, lay = build_i6(a)
+    big = inst.tree.requests(lay.client_big)
+    print(f"I6 from 2-Partition-Equal {a}: client with {big} requests "
+          f"> W = {inst.capacity}")
+    try:
+        multiple_bin(inst)
+    except InvalidInstanceError as e:
+        print(f"multiple-bin correctly refuses: {e}")
+    yes = solve_two_partition_equal(a) is not None
+    decided, _ = i6_decision(inst, lay)
+    print(f"4m-replica decision: {decided} (partition answer: {yes})\n")
+
+
+def theorem_6() -> None:
+    print("== Theorem 6: multiple-bin vs exact optimum ==")
+    hits, total = 0, 12
+    for seed in range(total):
+        inst = random_binary_tree(
+            5, 6, capacity=9, dmax=5.0, policy=Policy.MULTIPLE,
+            seed=seed, request_range=(1, 9),
+        )
+        p = multiple_bin(inst)
+        check_placement(inst, p)
+        hits += p.n_replicas == exact_multiple(inst).n_replicas
+    print(f"random Multiple-Bin instances: optimal on {hits}/{total}")
+    print("(see EXPERIMENTS.md finding F1: in one intermediate-dmax regime "
+          "the literal algorithm can open one extra replica)\n")
+
+
+def policy_gap() -> None:
+    print("== Single vs Multiple on the same tree ==")
+    inst = random_binary_tree(
+        5, 6, capacity=7, dmax=None, policy=Policy.SINGLE,
+        seed=2, request_range=(4, 7),
+    )
+    s = exact_single(inst).n_replicas
+    m = exact_multiple(inst.with_policy(Policy.MULTIPLE)).n_replicas
+    print(f"demands straddling W: Single optimum {s}, Multiple optimum {m} "
+          f"(splitting saves {s - m})")
+
+
+def main() -> None:
+    theorem_1_2()
+    theorems_3_4()
+    theorem_5()
+    theorem_6()
+    policy_gap()
+
+
+if __name__ == "__main__":
+    main()

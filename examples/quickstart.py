@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Quickstart: build a tree, place replicas, validate, inspect.
+
+Covers the 90-second tour of the public API:
+
+1. build a distribution tree with :class:`TreeBuilder`;
+2. wrap it in a :class:`ProblemInstance` (capacity, dmax, policy);
+3. run the paper's algorithms (`single_gen`, `single_nod`,
+   `multiple_bin`) plus the exact solver;
+4. validate every placement with the independent checker;
+5. render the result.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import (
+    Policy,
+    ProblemInstance,
+    TreeBuilder,
+    check_placement,
+    exact_optimal,
+    lower_bound,
+    multiple_bin,
+    single_gen,
+    single_nod,
+)
+from repro.instances import render_placement_summary, render_tree
+
+
+def build_instance() -> ProblemInstance:
+    """A small content-distribution tree.
+
+    The root holds the master copy; two regional nodes fan out to four
+    access nodes serving six clients.
+    """
+    b = TreeBuilder()
+    root = b.add_root()
+    west = b.add(root, delta=2.0)
+    east = b.add(root, delta=3.0)
+    w1 = b.add(west, delta=1.0)
+    w2 = b.add(west, delta=2.0)
+    e1 = b.add(east, delta=1.0)
+    b.add(w1, delta=1.0, requests=30)
+    b.add(w1, delta=2.0, requests=25)
+    b.add(w2, delta=1.0, requests=40)
+    b.add(e1, delta=1.0, requests=35)
+    b.add(e1, delta=1.5, requests=20)
+    b.add(east, delta=2.0, requests=15)
+    return ProblemInstance(
+        b.build(), capacity=80, dmax=6.0, policy=Policy.SINGLE,
+        name="quickstart",
+    )
+
+
+def main() -> None:
+    inst = build_instance()
+    print(f"instance: {inst.variant}, |T| = {len(inst.tree)}, "
+          f"W = {inst.capacity}, dmax = {inst.dmax}")
+    print(f"combinatorial lower bound: {lower_bound(inst)} replicas\n")
+    print(render_tree(inst))
+    print()
+
+    # --- Algorithm 1: works with distance constraints, any arity.
+    p1 = single_gen(inst)
+    check_placement(inst, p1)
+    print(f"single-gen   (Δ+1-approx): {p1.n_replicas} replicas")
+
+    # --- Algorithm 2: requires NoD — drop the distance constraint.
+    p2 = single_nod(inst.without_distance())
+    check_placement(inst.without_distance(), p2)
+    print(f"single-nod   (2-approx, NoD): {p2.n_replicas} replicas")
+
+    # --- Algorithm 3: Multiple policy on a binary tree.
+    minst = inst.with_policy(Policy.MULTIPLE)
+    p3 = multiple_bin(minst)
+    check_placement(minst, p3)
+    print(f"multiple-bin (optimal, Multiple): {p3.n_replicas} replicas")
+
+    # --- Exact optimum (exponential; fine at this size).
+    opt = exact_optimal(inst)
+    check_placement(inst, opt)
+    print(f"exact Single optimum: {opt.n_replicas} replicas\n")
+
+    print(render_tree(inst, opt))
+    print()
+    print(render_placement_summary(inst, opt))
+
+
+if __name__ == "__main__":
+    main()

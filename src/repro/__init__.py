@@ -1,0 +1,99 @@
+"""Replica placement with distance constraints in tree networks.
+
+A complete implementation of Benoit, Larchevêque & Renaud-Goud,
+*"Optimal algorithms and approximation algorithms for replica placement
+with distance constraints in tree networks"* (INRIA RR-7750 / IPDPS
+2012): the model, the paper's three algorithms, exact optimality
+oracles, the hardness-proof reductions, tight worst-case families,
+generators, a request-serving simulator and an analysis harness.
+
+Quick start::
+
+    from repro import ProblemInstance, Policy, single_gen, check_placement
+    from repro.instances import random_tree
+
+    inst = random_tree(20, 40, capacity=50, dmax=6.0, seed=1)
+    placement = single_gen(inst)
+    check_placement(inst, placement)        # independent validation
+    print(placement.n_replicas)
+"""
+
+from .algorithms import (
+    exact_multiple,
+    exact_optimal,
+    exact_single,
+    improve_single,
+    local_placement,
+    multiple_assignment,
+    multiple_bin,
+    multiple_greedy,
+    multiple_nod_dp,
+    single_assignment,
+    single_gen,
+    single_greedy_packing,
+    single_nod,
+    single_nod_bestfit,
+    single_push,
+)
+from .core import (
+    Assignment,
+    InfeasibleInstanceError,
+    InvalidInstanceError,
+    InvalidPlacementError,
+    InvalidTreeError,
+    NotBinaryTreeError,
+    Placement,
+    Policy,
+    PolicyError,
+    ProblemInstance,
+    ReproError,
+    SolverError,
+    Tree,
+    TreeBuilder,
+    check_placement,
+    is_valid,
+    lower_bound,
+    placement_violations,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # model
+    "Tree",
+    "TreeBuilder",
+    "ProblemInstance",
+    "Placement",
+    "Assignment",
+    "Policy",
+    "check_placement",
+    "is_valid",
+    "placement_violations",
+    "lower_bound",
+    # algorithms
+    "single_gen",
+    "single_nod",
+    "single_nod_bestfit",
+    "single_push",
+    "multiple_bin",
+    "multiple_nod_dp",
+    "exact_single",
+    "exact_multiple",
+    "exact_optimal",
+    "single_assignment",
+    "multiple_assignment",
+    "local_placement",
+    "single_greedy_packing",
+    "multiple_greedy",
+    "improve_single",
+    # errors
+    "ReproError",
+    "InvalidTreeError",
+    "InvalidInstanceError",
+    "InvalidPlacementError",
+    "InfeasibleInstanceError",
+    "NotBinaryTreeError",
+    "PolicyError",
+    "SolverError",
+]

@@ -1,0 +1,31 @@
+"""Placement algorithms: the paper's three algorithms, exact solvers,
+baseline heuristics, feasibility oracles and local search."""
+
+from .exact import exact_multiple, exact_optimal, exact_single
+from .feasibility import eligible_map, multiple_assignment, single_assignment
+from .greedy import local_placement, multiple_greedy, single_greedy_packing
+from .local_search import improve_single
+from .multiple_bin import multiple_bin
+from .multiple_nod_dp import multiple_nod_dp
+from .single_gen import single_gen
+from .single_nod import single_nod
+from .single_push import single_nod_bestfit, single_push
+
+__all__ = [
+    "single_gen",
+    "single_nod",
+    "single_nod_bestfit",
+    "single_push",
+    "multiple_bin",
+    "multiple_nod_dp",
+    "exact_single",
+    "exact_multiple",
+    "exact_optimal",
+    "multiple_assignment",
+    "single_assignment",
+    "eligible_map",
+    "local_placement",
+    "single_greedy_packing",
+    "multiple_greedy",
+    "improve_single",
+]

@@ -1,0 +1,201 @@
+"""Exact (optimal) solvers by branch-and-bound.
+
+The Single variants are NP-hard even on binary trees with no distance
+constraint (Theorem 1), and Multiple with unbounded demands is NP-hard
+too (Theorem 5) — so these solvers are exponential-time by necessity.
+They exist as *optimality oracles* for the test suite and the
+benchmark harness (approximation-ratio measurements against true optima
+on small instances), not as production solvers.
+
+* :func:`exact_single` — depth-first search over clients: each client
+  picks an eligible ancestor; branches that cannot beat the incumbent
+  (current replica count plus a remaining-volume bound) are pruned.
+* :func:`exact_multiple` — iterates candidate replica counts ``k`` from
+  the combinatorial lower bound upward and searches subsets of candidate
+  nodes of size ``k``, testing each with the max-flow feasibility oracle.
+  The first feasible ``k`` is optimal.
+* :func:`exact_optimal` — dispatch on the instance policy.
+
+All solvers return a fully validated-shape
+:class:`~repro.core.placement.Placement`; they raise
+:class:`InfeasibleInstanceError` when no placement exists and
+:class:`SolverError` when the search budget is exhausted.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.bounds import lower_bound
+from ..core.errors import InfeasibleInstanceError, SolverError
+from ..core.instance import ProblemInstance
+from ..core.placement import Placement
+from ..core.policies import Policy
+from .feasibility import multiple_assignment
+from .single_gen import single_gen
+
+__all__ = ["exact_single", "exact_multiple", "exact_optimal"]
+
+
+def _candidate_servers(instance: ProblemInstance) -> List[int]:
+    """Nodes eligible to serve at least one demanding client."""
+    tree = instance.tree
+    cands: Set[int] = set()
+    for c in tree.clients:
+        if tree.requests(c) == 0:
+            continue
+        for s, _d in tree.eligible_servers(c, instance.dmax):
+            cands.add(s)
+    return sorted(cands)
+
+
+def exact_single(
+    instance: ProblemInstance, node_budget: int = 5_000_000
+) -> Placement:
+    """Optimal Single placement by branch-and-bound over clients.
+
+    Exponential worst case (the problem is strongly NP-hard); intended
+    for instances with up to roughly 20 demanding clients.
+    """
+    tree = instance.tree
+    W = instance.capacity
+    if tree.max_request > W:
+        raise InfeasibleInstanceError(
+            f"a client demands {tree.max_request} > W={W}; "
+            "no Single placement exists"
+        )
+
+    elig: Dict[int, List[int]] = {}
+    for c in tree.clients:
+        if tree.requests(c) > 0:
+            elig[c] = [s for (s, _d) in tree.eligible_servers(c, instance.dmax)]
+    clients = sorted(elig, key=lambda c: (len(elig[c]), -tree.requests(c)))
+    demands = [tree.requests(c) for c in clients]
+    m = len(clients)
+    if m == 0:
+        return Placement([], {})
+
+    suffix_demand = [0] * (m + 1)
+    for k in range(m - 1, -1, -1):
+        suffix_demand[k] = suffix_demand[k + 1] + demands[k]
+
+    # Incumbent: the greedy approximation (always feasible here).
+    incumbent = single_gen(instance)
+    best_count = [incumbent.n_replicas]
+    best_choice: List[Optional[List[int]]] = [None]
+    glb = lower_bound(instance)
+
+    load: Dict[int, int] = {}
+    choice: List[int] = [0] * m
+    budget = [node_budget]
+    exhausted = [False]
+
+    def bound_ok(k: int) -> bool:
+        """Can this branch still beat the incumbent?"""
+        used = len(load)
+        if used >= best_count[0]:
+            return False
+        free = sum(W - v for v in load.values())
+        deficit = suffix_demand[k] - free
+        if deficit > 0:
+            extra = -(-deficit // W)
+            if used + extra >= best_count[0]:
+                return False
+        return True
+
+    def dfs(k: int) -> None:
+        if best_count[0] <= glb:
+            return  # the incumbent already meets the lower bound
+        if budget[0] <= 0:
+            exhausted[0] = True
+            return
+        budget[0] -= 1
+        if k == m:
+            if len(load) < best_count[0]:
+                best_count[0] = len(load)
+                best_choice[0] = list(choice[:m])
+            return
+        if not bound_ok(k):
+            return
+        c = clients[k]
+        d = demands[k]
+        # Try already-open servers first: no objective increase.
+        for s in elig[c]:
+            if s in load and load[s] + d <= W:
+                load[s] += d
+                choice[k] = s
+                dfs(k + 1)
+                load[s] -= d
+        for s in elig[c]:
+            if s in load:
+                continue
+            if len(load) + 1 >= best_count[0]:
+                break
+            load[s] = d
+            choice[k] = s
+            dfs(k + 1)
+            del load[s]
+
+    dfs(0)
+    if exhausted[0] and best_count[0] > glb:
+        raise SolverError(
+            "exact_single: search budget exhausted before proving optimality"
+        )
+
+    if best_choice[0] is None:
+        # The greedy incumbent was never improved; it is optimal.
+        return incumbent
+    assignments = {
+        (clients[k], best_choice[0][k]): demands[k] for k in range(m)
+    }
+    replicas = set(best_choice[0])
+    return Placement(replicas, assignments)
+
+
+def exact_multiple(
+    instance: ProblemInstance, subset_budget: int = 5_000_000
+) -> Placement:
+    """Optimal Multiple placement by replica-count iteration + max flow.
+
+    For each ``k`` from the lower bound upward, searches size-``k``
+    subsets of candidate nodes; a subset is feasible iff the
+    transportation max-flow saturates all demands.  The first feasible
+    subset found at the smallest feasible ``k`` is returned.
+    """
+    tree = instance.tree
+    if tree.total_requests == 0:
+        return Placement([], {})
+    reason = instance.with_policy(Policy.MULTIPLE).trivially_infeasible()
+    if reason is not None:
+        raise InfeasibleInstanceError(reason)
+
+    cands = _candidate_servers(instance)
+    lb = lower_bound(instance.with_policy(Policy.MULTIPLE))
+    lb = max(lb, 1)
+    # Upper bound: serving every demanding client locally is feasible
+    # only when r_i <= k_i * W locally... the all-local set may need
+    # helpers; the full candidate set is always feasible if anything is.
+    explored = 0
+    for k in range(lb, len(cands) + 1):
+        for subset in combinations(cands, k):
+            explored += 1
+            if explored > subset_budget:
+                raise SolverError(
+                    "exact_multiple: subset budget exhausted before "
+                    "proving optimality"
+                )
+            assign = multiple_assignment(instance, subset)
+            if assign is not None:
+                used = set(subset)
+                return Placement(used, assign)
+    raise InfeasibleInstanceError(
+        "no replica subset (even all candidates) can serve all demands"
+    )
+
+
+def exact_optimal(instance: ProblemInstance, **kwargs) -> Placement:
+    """Optimal placement for the instance's policy (dispatch helper)."""
+    if instance.policy is Policy.SINGLE:
+        return exact_single(instance, **kwargs)
+    return exact_multiple(instance, **kwargs)

@@ -1,0 +1,167 @@
+"""Feasibility oracles for a *fixed* replica set.
+
+Given an instance and a candidate replica set ``R``, decide whether all
+client demands can be assigned to servers of ``R`` under the model
+constraints, and if so produce the assignment:
+
+* :func:`multiple_assignment` — Multiple policy.  Splitting is allowed,
+  so this is exactly a transportation problem: a bipartite flow network
+  ``source → clients → eligible servers → sink`` solved with our Dinic
+  implementation.  Feasible iff the max flow equals the total demand.
+  Polynomial.
+* :func:`single_assignment` — Single policy.  Whole clients must be
+  packed into servers, a generalised bin-packing feasibility question
+  (NP-hard); solved by backtracking over clients with
+  most-constrained-first ordering, capacity pruning and a volume bound.
+  Intended for the small instances the exact solver explores.
+
+Both return ``None`` when infeasible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.instance import ProblemInstance
+from ..flow import FlowNetwork, max_flow
+
+__all__ = ["multiple_assignment", "single_assignment", "eligible_map"]
+
+
+def eligible_map(
+    instance: ProblemInstance, replicas: Iterable[int]
+) -> Optional[Dict[int, List[int]]]:
+    """For each demanding client, its eligible servers within ``R``.
+
+    Returns ``None`` if some client has no eligible server at all (then
+    no assignment can exist under either policy).
+    """
+    tree = instance.tree
+    rset = set(replicas)
+    out: Dict[int, List[int]] = {}
+    for c in tree.clients:
+        if tree.requests(c) == 0:
+            continue
+        elig = [s for (s, _d) in tree.eligible_servers(c, instance.dmax) if s in rset]
+        if not elig:
+            return None
+        out[c] = elig
+    return out
+
+
+def multiple_assignment(
+    instance: ProblemInstance, replicas: Iterable[int]
+) -> Optional[Dict[Tuple[int, int], int]]:
+    """Assignment under the Multiple policy, or ``None`` if infeasible.
+
+    Builds the transportation network and checks that the maximum flow
+    saturates every client's demand.
+    """
+    replicas = list(replicas)
+    elig = eligible_map(instance, replicas)
+    if elig is None:
+        return None
+    tree = instance.tree
+    W = instance.capacity
+    total = tree.total_requests
+    if total == 0:
+        return {}
+    if total > W * len(set(replicas)):
+        return None
+
+    clients = sorted(elig)
+    servers = sorted(set(replicas))
+    cindex = {c: 1 + k for k, c in enumerate(clients)}
+    sindex = {s: 1 + len(clients) + k for k, s in enumerate(servers)}
+    n_nodes = 2 + len(clients) + len(servers)
+    source, sink = 0, n_nodes - 1
+
+    g = FlowNetwork(n_nodes)
+    middle_arcs: Dict[int, Tuple[int, int]] = {}
+    for c in clients:
+        g.add_edge(source, cindex[c], tree.requests(c))
+        for s in elig[c]:
+            eid = g.add_edge(cindex[c], sindex[s], tree.requests(c))
+            middle_arcs[eid] = (c, s)
+    for s in servers:
+        g.add_edge(sindex[s], sink, W)
+
+    if max_flow(g, source, sink) != total:
+        return None
+    out: Dict[Tuple[int, int], int] = {}
+    for eid, (c, s) in middle_arcs.items():
+        f = g.flow_on(eid)
+        if f > 0:
+            out[(c, s)] = f
+    return out
+
+
+def single_assignment(
+    instance: ProblemInstance,
+    replicas: Iterable[int],
+    node_budget: int = 2_000_000,
+) -> Optional[Dict[Tuple[int, int], int]]:
+    """Assignment under the Single policy, or ``None`` if infeasible.
+
+    Backtracking search: clients are ordered by (number of eligible
+    servers, -demand) so the most constrained are placed first; a server
+    is tried only while it has room; a running volume bound prunes
+    branches whose total remaining capacity cannot cover the remaining
+    demand.  ``node_budget`` caps the number of search nodes (the search
+    is exponential in the worst case — Theorem 1).
+    """
+    replicas = list(dict.fromkeys(replicas))
+    elig = eligible_map(instance, replicas)
+    if elig is None:
+        return None
+    tree = instance.tree
+    W = instance.capacity
+
+    clients = sorted(elig, key=lambda c: (len(elig[c]), -tree.requests(c)))
+    demands = [tree.requests(c) for c in clients]
+    if any(d > W for d in demands):
+        return None
+    total = sum(demands)
+    if total > W * len(replicas):
+        return None
+
+    load: Dict[int, int] = {s: 0 for s in replicas}
+    choice: List[Optional[int]] = [None] * len(clients)
+    suffix_demand = [0] * (len(clients) + 1)
+    for k in range(len(clients) - 1, -1, -1):
+        suffix_demand[k] = suffix_demand[k + 1] + demands[k]
+
+    budget = [node_budget]
+
+    def backtrack(k: int) -> bool:
+        if k == len(clients):
+            return True
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        free = sum(W - v for v in load.values())
+        if suffix_demand[k] > free:
+            return False
+        c = clients[k]
+        d = demands[k]
+        tried = set()
+        for s in elig[c]:
+            if s in tried:
+                continue
+            tried.add(s)
+            if load[s] + d <= W:
+                load[s] += d
+                choice[k] = s
+                if backtrack(k + 1):
+                    return True
+                load[s] -= d
+                choice[k] = None
+        return False
+
+    if not backtrack(0):
+        return None
+    return {
+        (clients[k], choice[k]): demands[k]
+        for k in range(len(clients))
+        if demands[k] > 0
+    }

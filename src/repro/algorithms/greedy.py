@@ -1,0 +1,184 @@
+"""Baseline heuristics.
+
+The paper's algorithms are greedy, but carefully engineered; these
+simpler baselines calibrate how much that engineering buys:
+
+* :func:`local_placement` — the trivial always-feasible solution the
+  paper mentions in Section 3: every demanding client serves itself
+  (``servers(i) = {i}``, ``R = C``).
+* :func:`single_greedy_packing` — a naive Single heuristic: walk clients
+  most-constrained-first, send each to its highest eligible ancestor
+  that has an open replica with room, opening one otherwise.
+* :func:`multiple_greedy` — a generalisation of the paper's
+  ``multiple-bin`` flow to arbitrary arity: pending requests travel
+  upward, a replica opens on distance starvation or capacity overflow
+  and absorbs the most-constrained prefix; leftovers that cannot travel
+  are served at their own client nodes.  On binary trees with
+  ``r_i ≤ W`` this coincides with Algorithm 3's placement rule but uses
+  the simpler fallback instead of ``extra-server``, so it is *not*
+  optimal — benchmark E6 measures the gap, ablating the value of
+  ``extra-server``.
+
+All three return checker-valid placements.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from ..core.errors import InfeasibleInstanceError
+from ..core.instance import ProblemInstance
+from ..core.placement import Placement
+
+__all__ = ["local_placement", "single_greedy_packing", "multiple_greedy"]
+
+
+def local_placement(instance: ProblemInstance) -> Placement:
+    """Every demanding client hosts its own replica (``R = C``)."""
+    tree = instance.tree
+    if tree.max_request > instance.capacity:
+        raise InfeasibleInstanceError(
+            f"a client demands {tree.max_request} > W={instance.capacity}; "
+            "even the all-local placement is invalid"
+        )
+    replicas = [c for c in tree.clients if tree.requests(c) > 0]
+    assignments = {(c, c): tree.requests(c) for c in replicas}
+    return Placement(replicas, assignments)
+
+
+def single_greedy_packing(instance: ProblemInstance) -> Placement:
+    """Naive Single heuristic: highest eligible open server, else open one.
+
+    Clients are processed most-constrained-first (fewest eligible
+    servers, then largest demand).  No approximation guarantee — this is
+    the strawman the paper's algorithms are measured against.
+    """
+    tree = instance.tree
+    W = instance.capacity
+    if tree.max_request > W:
+        raise InfeasibleInstanceError(
+            f"a client demands {tree.max_request} > W={W}"
+        )
+    elig: Dict[int, List[int]] = {}
+    for c in tree.clients:
+        if tree.requests(c) > 0:
+            # eligible_servers returns client-upward order; reverse for
+            # highest-first packing.
+            elig[c] = [s for (s, _d) in tree.eligible_servers(c, instance.dmax)][::-1]
+    order = sorted(elig, key=lambda c: (len(elig[c]), -tree.requests(c)))
+
+    load: Dict[int, int] = {}
+    assignments: Dict[Tuple[int, int], int] = {}
+    for c in order:
+        d = tree.requests(c)
+        placed = False
+        for s in elig[c]:
+            if s in load and load[s] + d <= W:
+                load[s] += d
+                assignments[(c, s)] = d
+                placed = True
+                break
+        if not placed:
+            for s in elig[c]:
+                if s not in load:
+                    load[s] = d
+                    assignments[(c, s)] = d
+                    placed = True
+                    break
+        if not placed:
+            # All eligible servers are open but full: fall back to the
+            # client itself if it is not yet open (it always is eligible,
+            # so this only fails if c is open and full — impossible since
+            # a client's demand is assigned at most once).
+            raise InfeasibleInstanceError(
+                f"greedy packing failed to place client {c}"
+            )
+    return Placement(load.keys(), assignments)
+
+
+def multiple_greedy(instance: ProblemInstance) -> Placement:
+    """Any-arity Multiple heuristic in the style of Algorithm 3.
+
+    Pending triples ``(d, w, client)`` travel up; a replica opens when
+    the head cannot cross the next edge or the pending volume exceeds
+    ``W``, absorbing the most-constrained prefix.  Remaining triples that
+    still cannot travel are served at their own client node (valid: the
+    residual amount of a client never exceeds ``r_i ≤ W``).
+    """
+    tree = instance.tree
+    W = instance.capacity
+    if tree.max_request > W:
+        raise InfeasibleInstanceError(
+            f"multiple_greedy requires r_i <= W (max r_i = "
+            f"{tree.max_request}, W = {W})"
+        )
+    dmax = math.inf if instance.dmax is None else float(instance.dmax)
+
+    n = len(tree)
+    root = tree.root
+    in_R = [False] * n
+    assignments: Dict[Tuple[int, int], int] = {}
+    pending: List[List[Tuple[float, int, int]]] = [[] for _ in range(n)]
+
+    def serve(at: int, triples: List[Tuple[float, int, int]]) -> None:
+        in_R[at] = True
+        for (_d, w, i) in triples:
+            if w > 0:
+                assignments[(i, at)] = assignments.get((i, at), 0) + w
+
+    for j in tree.postorder():
+        if tree.is_leaf(j):
+            r = tree.requests(j)
+            if r == 0:
+                continue
+            if j == root or tree.delta(j) > dmax:
+                serve(j, [(0.0, r, j)])
+            else:
+                pending[j] = [(0.0, r, j)]
+            continue
+
+        temp: List[Tuple[float, int, int]] = []
+        for child in tree.children(j):
+            dc = tree.delta(child)
+            temp.extend((d + dc, w, i) for (d, w, i) in pending[child])
+            pending[child] = []
+        if not temp:
+            continue
+        temp.sort(key=lambda t: -t[0])
+        wtot = sum(w for (_d, w, _i) in temp)
+        is_root = j == root
+
+        if is_root or temp[0][0] + tree.delta(j) > dmax or wtot > W:
+            absorbed: List[Tuple[float, int, int]] = []
+            wproc = 0
+            k = 0
+            while k < len(temp) and wproc < W:
+                d, w, i = temp[k]
+                take = min(w, W - wproc)
+                absorbed.append((d, take, i))
+                if take < w:
+                    temp[k] = (d, w - take, i)
+                else:
+                    k += 1
+                wproc += take
+            serve(j, absorbed)
+            temp = temp[k:]
+
+        # Leftovers that cannot travel upward are sent back to their own
+        # client nodes (self-serving is always distance-feasible).
+        if temp and (is_root or temp[0][0] + tree.delta(j) > dmax):
+            stuck: List[Tuple[float, int, int]] = []
+            moving: List[Tuple[float, int, int]] = []
+            for (d, w, i) in temp:
+                if is_root or d + tree.delta(j) > dmax:
+                    stuck.append((d, w, i))
+                else:
+                    moving.append((d, w, i))
+            for (d, w, i) in stuck:
+                serve(i, [(0.0, w, i)])
+            temp = moving
+        pending[j] = temp
+
+    replicas = [v for v in range(n) if in_R[v]]
+    return Placement(replicas, assignments)

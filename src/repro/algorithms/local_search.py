@@ -1,0 +1,151 @@
+"""Local-search improvement for Single placements.
+
+The paper's conclusion sketches future work on better Single
+approximations ("push servers towards the root whenever possible").
+This module implements that idea as a post-processing pass usable after
+any Single solver:
+
+* **close** moves — try to empty a replica by re-assigning every client
+  it serves to other open replicas (eligibility + capacity respected);
+* **merge** moves — fuse two replicas whose combined load fits ``W``
+  into one node eligible for all their clients (possibly one of the two
+  or a common ancestor), netting one replica fewer.
+
+The search runs rounds until a fixed point or ``max_rounds``.  The
+result never has more replicas than the input and stays checker-valid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.instance import ProblemInstance
+from ..core.placement import Placement
+
+__all__ = ["improve_single"]
+
+
+def _try_close(
+    instance: ProblemInstance,
+    victim: int,
+    load: Dict[int, int],
+    assign: Dict[int, int],
+) -> Optional[Dict[int, int]]:
+    """Reassignment of the victim's clients to other open replicas.
+
+    ``assign`` maps client -> server.  Returns the new client->server
+    mapping for the victim's clients, or ``None`` if no reassignment
+    fits.  Uses first-fit-decreasing over the victim's clients.
+    """
+    tree = instance.tree
+    W = instance.capacity
+    moved = sorted(
+        (c for c, s in assign.items() if s == victim),
+        key=lambda c: -tree.requests(c),
+    )
+    free = {s: W - l for s, l in load.items() if s != victim}
+    out: Dict[int, int] = {}
+    for c in moved:
+        d = tree.requests(c)
+        target = None
+        for s, _dist in tree.eligible_servers(c, instance.dmax):
+            if s != victim and s in free and free[s] >= d:
+                target = s
+                break
+        if target is None:
+            return None
+        free[target] -= d
+        out[c] = target
+    return out
+
+
+def _common_targets(
+    instance: ProblemInstance, clients: List[int]
+) -> List[int]:
+    """Nodes eligible to serve every client, deepest first."""
+    tree = instance.tree
+    candidates = None
+    for c in clients:
+        elig = {s for s, _d in tree.eligible_servers(c, instance.dmax)}
+        candidates = elig if candidates is None else candidates & elig
+        if not candidates:
+            return []
+    return sorted(candidates or [], key=tree.depth, reverse=True)
+
+
+def improve_single(
+    instance: ProblemInstance,
+    placement: Placement,
+    max_rounds: int = 100,
+) -> Placement:
+    """Iteratively shrink a Single placement (close + merge moves).
+
+    Returns a placement with ``n_replicas`` less than or equal to the
+    input's.  The input is not modified.
+    """
+    tree = instance.tree
+    W = instance.capacity
+    assign: Dict[int, int] = {}
+    for a in placement.iter_assignments():
+        assign[a.client] = a.server
+
+    load: Dict[int, int] = {s: 0 for s in placement.replicas}
+    for c, s in assign.items():
+        load[s] = load.get(s, 0) + tree.requests(c)
+
+    def apply_merge() -> bool:
+        # Best-improvement: among all feasible pair merges, pick the one
+        # whose common target is deepest — shallow (near-root) merges
+        # burn shared capacity that deeper sibling pairs may need.
+        servers = sorted(load, key=lambda s: load[s])
+        best = None  # (depth, s1, s2, target, combined)
+        for i in range(len(servers)):
+            for j in range(i + 1, len(servers)):
+                s1, s2 = servers[i], servers[j]
+                combined = load[s1] + load[s2]
+                if combined > W:
+                    continue
+                moved = [c for c, s in assign.items() if s in (s1, s2)]
+                for target in _common_targets(instance, moved):
+                    resident = (
+                        load.get(target, 0) if target not in (s1, s2) else 0
+                    )
+                    if resident + combined > W:
+                        continue
+                    depth = tree.depth(target)
+                    if best is None or depth > best[0]:
+                        best = (depth, s1, s2, target, combined)
+                    break  # _common_targets is deepest-first
+        if best is None:
+            return False
+        _depth, s1, s2, target, combined = best
+        for c in [c for c, s in assign.items() if s in (s1, s2)]:
+            assign[c] = target
+        del load[s1]
+        del load[s2]
+        load[target] = load.get(target, 0) + combined
+        return True
+
+    for _round in range(max_rounds):
+        improved = False
+        # Try closing the least-loaded replicas first.
+        for victim in sorted(load, key=lambda s: load[s]):
+            if load[victim] == 0:
+                del load[victim]
+                improved = True
+                break
+            re = _try_close(instance, victim, load, assign)
+            if re is not None:
+                for c, s in re.items():
+                    assign[c] = s
+                    load[s] += tree.requests(c)
+                del load[victim]
+                improved = True
+                break
+        if not improved:
+            improved = apply_merge()
+        if not improved:
+            break
+
+    assignments = {(c, s): tree.requests(c) for c, s in assign.items()}
+    return Placement(load.keys(), assignments)

@@ -1,0 +1,199 @@
+"""Algorithm 3 of the paper: ``multiple-bin``.
+
+A polynomial-time **optimal** algorithm for **Multiple-Bin** — the
+Multiple policy on binary trees with distance constraints — valid
+whenever every client fits a server (``r_i ≤ W``, Theorem 6).  When some
+``r_i > W`` the problem is NP-hard (Theorem 5), and this module refuses
+to run.
+
+Data structures (Section 4.2):
+
+* ``req(j)`` — triples ``(d, w, i)``: ``w`` requests of client ``i``,
+  already at distance ``d`` from ``j``, still looking for a server at
+  ``j`` or above.  Sorted by non-increasing ``d`` (most distance-starved
+  first) and totalling at most ``W``.
+* ``proc(j)`` — the triples a replica at ``j`` processes.
+
+Per internal node ``j``, the children's ``req`` lists are shifted by the
+edge distances (``add-dist``) and merged (``merge``).  A replica opens at
+``j`` when the merged head can no longer travel upward
+(``d + δ_j > dmax``) or more than ``W`` requests are pending; it absorbs
+the most-constrained prefix, splitting one triple exactly at capacity —
+this is where the Multiple policy earns its strength.  If the *remainder*
+still cannot travel upward, the ``extra-server`` procedure performs the
+paper's reassignment: ``j`` now processes all of its left child's
+pending list, the right child's pending list is pushed down the rightmost
+path, and the first right-spine node without a replica receives one.
+
+The implementation keeps per-node ``proc`` lists mutable until the end
+(``extra-server`` *replaces* earlier decisions) and only then freezes the
+final :class:`~repro.core.placement.Placement`.
+
+Complexity: ``O(|T|²)`` as in the paper — each node's lists hold at most
+one triple per client, and ``extra-server`` visits any node at most once.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import (
+    InvalidInstanceError,
+    NotBinaryTreeError,
+    SolverError,
+)
+from ..core.instance import ProblemInstance
+from ..core.placement import Placement
+
+__all__ = ["multiple_bin"]
+
+# A triple (d, w, i): w requests of client i, at distance d from the
+# node whose list holds the triple.
+_Triple = Tuple[float, int, int]
+
+
+def _merge(a: List[_Triple], b: List[_Triple]) -> List[_Triple]:
+    """Merge two lists sorted by non-increasing distance."""
+    out: List[_Triple] = []
+    ia = ib = 0
+    while ia < len(a) and ib < len(b):
+        if a[ia][0] >= b[ib][0]:
+            out.append(a[ia])
+            ia += 1
+        else:
+            out.append(b[ib])
+            ib += 1
+    out.extend(a[ia:])
+    out.extend(b[ib:])
+    return out
+
+
+def _add_dist(lst: List[_Triple], dist: float) -> List[_Triple]:
+    """Shift all triple distances by ``dist`` (crossing one edge up)."""
+    return [(d + dist, w, i) for (d, w, i) in lst]
+
+
+def multiple_bin(instance: ProblemInstance) -> Placement:
+    """Run Algorithm 3 on ``instance`` and return an optimal placement.
+
+    Requirements:
+
+    * the tree is binary (arity ≤ 2) — :class:`NotBinaryTreeError`;
+    * every client fits one server (``r_i ≤ W``) —
+      :class:`InvalidInstanceError` (beyond that bound the problem is
+      NP-hard, Theorem 5).
+
+    The distance constraint may be absent (``dmax=None``); the algorithm
+    then opens replicas on capacity overflow only and remains valid.
+    """
+    tree = instance.tree
+    if not tree.is_binary:
+        raise NotBinaryTreeError(
+            f"multiple-bin requires a binary tree, got arity {tree.arity}"
+        )
+    W = instance.capacity
+    if tree.max_request > W:
+        raise InvalidInstanceError(
+            f"multiple-bin requires r_i <= W for all clients "
+            f"(max r_i = {tree.max_request}, W = {W}); the unrestricted "
+            "problem is NP-hard (Theorem 5)"
+        )
+    dmax = math.inf if instance.dmax is None else float(instance.dmax)
+
+    n = len(tree)
+    root = tree.root
+    in_R: List[bool] = [False] * n
+    req: List[List[_Triple]] = [[] for _ in range(n)]
+    proc: List[List[_Triple]] = [[] for _ in range(n)]
+
+    def extra_server(j: int) -> None:
+        """Paper's ``extra-server``: reassign and descend the right spine.
+
+        Precondition: ``j`` holds a replica, has two children, and its
+        pending list cannot travel above ``j``.  Postcondition: all
+        requests pending in ``subtree(j)`` are served inside it, with
+        exactly one new replica opened.
+        """
+        node = j
+        while True:
+            kids = tree.children(node)
+            if len(kids) != 2:  # pragma: no cover - excluded by Thm 6 proof
+                raise SolverError(
+                    f"extra-server reached node {node} with {len(kids)} "
+                    "children; this contradicts the capacity invariant"
+                )
+            lc, rc = kids[0], kids[1]
+            # ``node`` now processes everything its left child forwarded.
+            proc[node] = _add_dist(req[lc], tree.delta(lc))
+            if not in_R[rc]:
+                in_R[rc] = True
+                proc[rc] = list(req[rc])
+                return
+            if tree.is_leaf(rc):  # pragma: no cover - excluded by Thm 6 proof
+                raise SolverError(
+                    f"extra-server reached leaf {rc} already holding a "
+                    "replica; this contradicts req(rc) = empty"
+                )
+            node = rc
+
+    for j in tree.postorder():
+        if tree.is_leaf(j):
+            r = tree.requests(j)
+            if r == 0:
+                continue
+            if j == root or tree.delta(j) > dmax:
+                # The requests can never reach the parent: serve locally.
+                in_R[j] = True
+                proc[j] = [(0.0, r, j)]
+            else:
+                req[j] = [(0.0, r, j)]
+            continue
+
+        kids = tree.children(j)
+        temp: List[_Triple] = []
+        for child in kids:
+            temp = _merge(temp, _add_dist(req[child], tree.delta(child)))
+        if not temp:
+            continue
+        wtot = sum(w for (_d, w, _i) in temp)
+        is_root = j == root
+
+        must_serve_here = is_root or temp[0][0] + tree.delta(j) > dmax
+        if must_serve_here or wtot > W:
+            in_R[j] = True
+            # Absorb the most-constrained prefix, splitting at capacity.
+            absorbed: List[_Triple] = []
+            wproc = 0
+            k = 0
+            while k < len(temp) and wproc < W:
+                d, w, i = temp[k]
+                if wproc + w <= W:
+                    absorbed.append((d, w, i))
+                    wproc += w
+                    k += 1
+                else:
+                    take = W - wproc
+                    absorbed.append((d, take, i))
+                    temp[k] = (d, w - take, i)
+                    wproc = W
+            proc[j] = absorbed
+            temp = temp[k:]
+
+        req[j] = temp
+        if req[j]:
+            head_d = req[j][0][0]
+            if is_root or head_d + tree.delta(j) > dmax:
+                # Capacity at j is exhausted but the remainder cannot go
+                # up: open one extra replica inside the subtree.
+                extra_server(j)
+                req[j] = []
+
+    # Freeze the proc lists into a placement.
+    replicas = [v for v in range(n) if in_R[v]]
+    assignments: Dict[Tuple[int, int], int] = {}
+    for v in replicas:
+        for (_d, w, i) in proc[v]:
+            if w > 0:
+                assignments[(i, v)] = assignments.get((i, v), 0) + w
+    return Placement(replicas, assignments)

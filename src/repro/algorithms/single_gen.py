@@ -1,0 +1,141 @@
+"""Algorithm 1 of the paper: ``single-gen``.
+
+A greedy bottom-up (Δ+1)-approximation for the **Single** problem with
+distance constraints (Theorem 3), which degrades gracefully to a
+Δ-approximation when no distance constraint is present (Corollary 1).
+
+The recursion invariant: ``single-gen(j)`` returns a pair
+``(req, dist)`` where ``req ≤ W`` is the amount of requests still to be
+served at ``j`` or above, and ``dist`` is the remaining distance budget —
+those requests must be served within ``dist`` of ``j``.  Three placement
+rules fire while returning up the tree:
+
+1. *Distance rule* — if the requests below child ``j'`` cannot cross the
+   edge to ``j`` (``δ_{j'} > dist_{j'}``), a replica is opened at ``j'``.
+2. *Capacity rule* — if the children of ``j`` forward more than ``W``
+   requests in total, a replica is opened at every child still holding
+   requests, and nothing goes further up.
+3. *Root rule* — leftover requests at the root are served by a replica
+   at the root.
+
+The implementation additionally threads through each node the *bundle* of
+``(client, amount)`` pairs its pending requests consist of, so a complete
+:class:`~repro.core.placement.Placement` (not just a replica count) is
+produced and can be validated independently.  Under the Single policy a
+bundle always contains whole clients — the algorithm never splits a
+client's demand.
+
+Complexity: ``O(Δ · |T|)`` as proven in the paper (every node is visited
+once and does O(arity) work, plus bundle concatenations that amortise to
+the number of client-to-server handoffs).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from ..core.errors import InfeasibleInstanceError
+from ..core.instance import ProblemInstance
+from ..core.placement import Placement
+
+__all__ = ["single_gen"]
+
+
+def single_gen(instance: ProblemInstance) -> Placement:
+    """Run Algorithm 1 on ``instance`` and return a full placement.
+
+    Works for any tree arity, with or without a distance constraint.
+    Guarantees ``|R| ≤ (Δ+1) · |R_opt|`` (Δ·|R_opt| without distance
+    constraints).  Raises :class:`InfeasibleInstanceError` if some client
+    exceeds the server capacity (then no Single placement exists).
+    """
+    tree = instance.tree
+    W = instance.capacity
+    dmax = math.inf if instance.dmax is None else float(instance.dmax)
+
+    if tree.max_request > W:
+        raise InfeasibleInstanceError(
+            f"a client demands {tree.max_request} > W={W}; "
+            "no Single placement exists"
+        )
+
+    replicas: List[int] = []
+    assignments: Dict[Tuple[int, int], int] = {}
+
+    # Per-node pending state, filled in postorder:
+    #   req[v]    — requests still to serve at or above v
+    #   dist[v]   — remaining distance budget for those requests
+    #   bundle[v] — the (client, amount) composition of req[v]
+    n = len(tree)
+    req: List[int] = [0] * n
+    dist: List[float] = [0.0] * n
+    bundle: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+
+    def open_replica(at: int, served: List[Tuple[int, int]]) -> None:
+        replicas.append(at)
+        for client, amount in served:
+            assignments[(client, at)] = assignments.get((client, at), 0) + amount
+
+    root = tree.root
+    for j in tree.postorder():
+        if tree.is_leaf(j):
+            if j == root:
+                # Degenerate single-node tree: serve locally if needed.
+                if tree.requests(j) > 0:
+                    open_replica(j, [(j, tree.requests(j))])
+                continue
+            req[j] = tree.requests(j)
+            dist[j] = dmax
+            bundle[j] = [(j, tree.requests(j))] if tree.requests(j) else []
+            continue
+
+        # Step 1: distance rule on each child.
+        for jp in tree.children(j):
+            if tree.delta(jp) > dist[jp] and req[jp] > 0:
+                open_replica(jp, bundle[jp])
+                req[jp] = 0
+                dist[jp] = dmax
+                bundle[jp] = []
+            else:
+                dist[jp] = dist[jp] - tree.delta(jp)
+
+        total = sum(req[jp] for jp in tree.children(j))
+
+        if total > W:
+            # Step 2: capacity rule — serve each child's pending locally.
+            for jp in tree.children(j):
+                if req[jp] > 0:
+                    open_replica(jp, bundle[jp])
+                    req[jp] = 0
+                    bundle[jp] = []
+            req[j] = 0
+            dist[j] = dmax
+            bundle[j] = []
+        elif j == root:
+            # Step 3a: root rule.
+            if total > 0:
+                merged: List[Tuple[int, int]] = []
+                for jp in tree.children(j):
+                    merged.extend(bundle[jp])
+                    bundle[jp] = []
+                open_replica(root, merged)
+            req[j] = 0
+            dist[j] = dmax
+        else:
+            # Step 3b: forward pending requests upward.
+            merged = []
+            for jp in tree.children(j):
+                merged.extend(bundle[jp])
+                bundle[jp] = []
+            req[j] = total
+            # Children that forward no requests do not constrain the
+            # budget (the paper resets served children to dmax; we also
+            # ignore zero-demand branches, whose budget is meaningless).
+            dist[j] = min(
+                (dist[jp] for jp in tree.children(j) if req[jp] > 0),
+                default=dmax,
+            )
+            bundle[j] = merged
+
+    return Placement(replicas, assignments)

@@ -1,0 +1,160 @@
+"""Algorithm 2 of the paper: ``single-nod``.
+
+A greedy bottom-up 2-approximation for **Single-NoD** — the Single
+policy with no distance constraint (Theorem 4).
+
+The algorithm refines ``single-gen`` by exploiting the absence of
+distances.  It works on *entries*: a subtree whose total pending demand
+fits a server is aggregated into a single entry ``(node, demand)``
+(Property 1 of the paper) and treated like a client higher up.  At a node
+``j`` whose entries sum to more than ``W``:
+
+* a replica is opened at ``j`` and greedily packed with the *smallest*
+  entries (whole entries — Single policy — sorted non-decreasing);
+* the first entry that does not fit (``jmin`` in the paper) gets its own
+  replica, placed at the entry's node;
+* surviving entries are re-parented: they become entries of
+  ``parent(j)`` and may be packed there or higher.
+
+Leftover entries reaching the root either fit one last root replica or
+each get their own replica (the paper's set ``R₃``).
+
+The proof pairs each packed replica with its ``jmin`` replica
+(``|R₁| = |R₂|``) and shows any solution needs ``|R₁| + |R₃|`` replicas,
+hence the factor 2, which is tight (Fig. 4, reproduced in
+:func:`repro.instances.tight.single_nod_tight_instance`).
+
+Complexity: ``O((Δ log Δ + |C|) · |T|)`` — we sort entry lists per node;
+entry bundles are concatenated by reference so total bookkeeping stays
+linear in the number of client-to-server handoffs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.errors import InfeasibleInstanceError, PolicyError
+from ..core.instance import ProblemInstance
+from ..core.placement import Placement
+
+__all__ = ["single_nod"]
+
+
+@dataclass
+class _Entry:
+    """A pending group of whole clients rooted at ``node``.
+
+    ``demand ≤ W`` always holds; ``bundle`` lists the (client, amount)
+    pairs the entry is made of.  An entry is served atomically, so the
+    Single policy is respected by construction.
+    """
+
+    node: int
+    demand: int
+    bundle: List[Tuple[int, int]] = field(default_factory=list)
+
+
+def single_nod(instance: ProblemInstance) -> Placement:
+    """Run Algorithm 2 on ``instance`` and return a full placement.
+
+    Requires an instance without distance constraint (the *NoD*
+    variants); raises :class:`PolicyError` otherwise, because the entry
+    re-parenting step may move requests arbitrarily far up the tree.
+    Guarantees ``|R| ≤ 2·|R_opt|``.
+    """
+    if instance.has_distance_constraint:
+        raise PolicyError(
+            "single-nod only solves the NoD variants; use single_gen for "
+            "instances with a distance constraint"
+        )
+    tree = instance.tree
+    W = instance.capacity
+    if tree.max_request > W:
+        raise InfeasibleInstanceError(
+            f"a client demands {tree.max_request} > W={W}; "
+            "no Single placement exists"
+        )
+
+    replicas: List[int] = []
+    assignments: Dict[Tuple[int, int], int] = {}
+
+    def open_replica(at: int, entries: List[_Entry]) -> None:
+        replicas.append(at)
+        for e in entries:
+            for client, amount in e.bundle:
+                assignments[(client, at)] = (
+                    assignments.get((client, at), 0) + amount
+                )
+
+    n = len(tree)
+    root = tree.root
+    # inbox[v]: entries pushed up into v by descendants (the paper's
+    # dynamic children set C_v beyond the original children).
+    inbox: List[List[_Entry]] = [[] for _ in range(n)]
+    # aggregate[v]: the entry v itself forwards to its parent (or None).
+    aggregate: List[_Entry] = [None] * n  # type: ignore[list-item]
+
+    for j in tree.postorder():
+        if tree.is_leaf(j):
+            r = tree.requests(j)
+            if j == root:
+                if r > 0:
+                    open_replica(j, [_Entry(j, r, [(j, r)])])
+                continue
+            aggregate[j] = _Entry(j, r, [(j, r)]) if r > 0 else None
+            continue
+
+        entries: List[_Entry] = list(inbox[j])
+        for jp in tree.children(j):
+            agg = aggregate[jp]
+            if agg is not None and agg.demand > 0:
+                entries.append(agg)
+
+        total = sum(e.demand for e in entries)
+
+        if total > W:
+            # Pack a replica at j with the smallest entries.
+            entries.sort(key=lambda e: e.demand)
+            packed: List[_Entry] = []
+            acc = 0
+            k = 0
+            overflow: _Entry = None  # type: ignore[assignment]
+            while k < len(entries):
+                if acc + entries[k].demand > W:
+                    overflow = entries[k]
+                    k += 1
+                    break
+                acc += entries[k].demand
+                packed.append(entries[k])
+                k += 1
+            open_replica(j, packed)
+            # The entry that burst the capacity gets its own replica at
+            # its root node (the paper's jmin / R2 replica).
+            open_replica(overflow.node, [overflow])
+            leftovers = entries[k:]
+            if j != root:
+                inbox[tree.parent(j)].extend(leftovers)
+            else:
+                # Paper's R3: leftovers at the root each get a replica.
+                for e in leftovers:
+                    open_replica(e.node, [e])
+            aggregate[j] = None
+        else:
+            if j == root:
+                if total > 0:
+                    merged = _Entry(j, total, [])
+                    for e in entries:
+                        merged.bundle.extend(e.bundle)
+                    open_replica(root, [merged])
+            else:
+                # Aggregate the whole subtree into one entry (Property 1).
+                if total > 0:
+                    merged = _Entry(j, total, [])
+                    for e in entries:
+                        merged.bundle.extend(e.bundle)
+                    aggregate[j] = merged
+                else:
+                    aggregate[j] = None
+
+    return Placement(replicas, assignments)

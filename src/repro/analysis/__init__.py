@@ -1,0 +1,40 @@
+"""Measurement harness: ratios, scaling, experiment tables."""
+
+from .complexity import ScalingPoint, ScalingResult, fit_power_law, measure_scaling
+from .experiments import ExperimentRow, ExperimentTable
+from .ratios import RatioReport, RatioSample, measure_ratios, policy_gap
+from .report import (
+    full_report,
+    optimality_report,
+    reduction_report,
+    tight_family_report,
+)
+from .sensitivity import (
+    SweepPoint,
+    capacity_sweep,
+    dmax_sweep,
+    knee,
+    render_sweep,
+)
+
+__all__ = [
+    "RatioReport",
+    "RatioSample",
+    "measure_ratios",
+    "policy_gap",
+    "ScalingPoint",
+    "ScalingResult",
+    "measure_scaling",
+    "fit_power_law",
+    "ExperimentRow",
+    "ExperimentTable",
+    "full_report",
+    "tight_family_report",
+    "optimality_report",
+    "reduction_report",
+    "SweepPoint",
+    "dmax_sweep",
+    "capacity_sweep",
+    "knee",
+    "render_sweep",
+]

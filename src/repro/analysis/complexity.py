@@ -1,0 +1,87 @@
+"""Empirical complexity measurement (benchmark E9).
+
+The paper states ``O(Δ·|T|)`` for Algorithm 1,
+``O((Δ log Δ + |C|)·|T|)`` for Algorithm 2 and ``O(|T|²)`` for
+Algorithm 3.  This module times a solver across a size sweep and fits a
+power law ``time ≈ c·n^α`` by least squares in log-log space — the
+exponent ``α`` is what the benchmark compares against the stated bound
+(α ≈ 1 for the near-linear algorithms, α ≤ 2 for multiple-bin; the
+paper's quadratic bound is loose for bounded client demand, so measured
+exponents below the bound are expected and fine).
+
+Per the HPC guides: measure before claiming — these timings use
+``time.perf_counter`` around the solver call only, with instance
+construction excluded, and repeat each size several times taking the
+minimum (least-noise estimator for CPU-bound work).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.placement import Placement
+
+__all__ = ["ScalingPoint", "ScalingResult", "measure_scaling", "fit_power_law"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (size, seconds) measurement."""
+
+    size: int
+    seconds: float
+
+
+@dataclass
+class ScalingResult:
+    """A size sweep plus its fitted power-law exponent."""
+
+    points: List[ScalingPoint]
+    exponent: float
+    coefficient: float
+
+    def table(self) -> str:
+        lines = [f"{'|T|':>8} {'seconds':>12}"]
+        for p in self.points:
+            lines.append(f"{p.size:>8} {p.seconds:>12.6f}")
+        lines.append(f"-- fitted time ~ {self.coefficient:.3e} * n^{self.exponent:.2f}")
+        return "\n".join(lines)
+
+
+def fit_power_law(sizes: Sequence[int], seconds: Sequence[float]) -> tuple:
+    """Least-squares fit of ``log t = α log n + log c``; returns (α, c)."""
+    x = np.log(np.asarray(sizes, dtype=float))
+    y = np.log(np.asarray(seconds, dtype=float))
+    alpha, logc = np.polyfit(x, y, 1)
+    return float(alpha), float(np.exp(logc))
+
+
+def measure_scaling(
+    make_instance: Callable[[int], ProblemInstance],
+    solver: Callable[[ProblemInstance], Placement],
+    sizes: Sequence[int],
+    repeats: int = 3,
+) -> ScalingResult:
+    """Time ``solver`` across ``sizes`` and fit the growth exponent.
+
+    ``make_instance(size)`` builds the instance (excluded from timing);
+    each size is solved ``repeats`` times and the minimum wall time kept.
+    """
+    points: List[ScalingPoint] = []
+    for size in sizes:
+        inst = make_instance(size)
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            solver(inst)
+            best = min(best, time.perf_counter() - t0)
+        points.append(ScalingPoint(len(inst.tree), best))
+    alpha, c = fit_power_law(
+        [p.size for p in points], [max(p.seconds, 1e-9) for p in points]
+    )
+    return ScalingResult(points, alpha, c)

@@ -1,0 +1,58 @@
+"""Experiment table helpers.
+
+Small utilities shared by the benchmark harness and the examples to
+print paper-style tables: aligned columns, a ``paper`` column next to a
+``measured`` column, and a pass/fail verdict on the qualitative claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+__all__ = ["ExperimentRow", "ExperimentTable"]
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One row: a setting, the paper's claim, and our measurement."""
+
+    setting: str
+    paper: str
+    measured: str
+    ok: bool
+
+
+@dataclass
+class ExperimentTable:
+    """A named experiment with claim-vs-measured rows."""
+
+    experiment: str
+    claim: str
+    rows: List[ExperimentRow] = field(default_factory=list)
+
+    def add(self, setting: str, paper: str, measured: str, ok: bool) -> None:
+        self.rows.append(ExperimentRow(setting, paper, measured, ok))
+
+    @property
+    def all_ok(self) -> bool:
+        return all(r.ok for r in self.rows)
+
+    def render(self, widths: Optional[Sequence[int]] = None) -> str:
+        w = widths or (30, 22, 22)
+        head = (
+            f"== {self.experiment} ==\n{self.claim}\n"
+            f"{'setting':<{w[0]}} {'paper':<{w[1]}} {'measured':<{w[2]}} ok"
+        )
+        lines = [head]
+        for r in self.rows:
+            lines.append(
+                f"{r.setting:<{w[0]}} {r.paper:<{w[1]}} {r.measured:<{w[2]}} "
+                f"{'yes' if r.ok else 'NO'}"
+            )
+        lines.append(
+            f"-- {self.experiment}: "
+            f"{'REPRODUCED' if self.all_ok else 'MISMATCH'} "
+            f"({sum(r.ok for r in self.rows)}/{len(self.rows)} rows)"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Approximation-ratio measurement harness.
+
+Runs a solver against an optimality reference (the exact solver, a
+hand-crafted optimum, or a lower bound) over a collection of instances
+and aggregates the observed ratios.  This is the workhorse behind
+benchmarks E3/E4 (tight families), E7/E8 (random sweeps) and E10
+(policy gap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.placement import Placement
+from ..core.validation import placement_violations
+
+__all__ = ["RatioSample", "RatioReport", "measure_ratios", "policy_gap"]
+
+Solver = Callable[[ProblemInstance], Placement]
+
+
+@dataclass(frozen=True)
+class RatioSample:
+    """One instance's outcome: solver value, reference value, ratio."""
+
+    name: str
+    solver_value: int
+    reference_value: int
+    valid: bool
+
+    @property
+    def ratio(self) -> float:
+        if self.reference_value == 0:
+            return 1.0 if self.solver_value == 0 else float("inf")
+        return self.solver_value / self.reference_value
+
+
+@dataclass
+class RatioReport:
+    """Aggregated ratio statistics over a sweep."""
+
+    samples: List[RatioSample] = field(default_factory=list)
+
+    @property
+    def ratios(self) -> np.ndarray:
+        return np.array([s.ratio for s in self.samples], dtype=float)
+
+    @property
+    def max_ratio(self) -> float:
+        return float(self.ratios.max()) if self.samples else float("nan")
+
+    @property
+    def mean_ratio(self) -> float:
+        return float(self.ratios.mean()) if self.samples else float("nan")
+
+    @property
+    def optimal_fraction(self) -> float:
+        """Fraction of instances solved exactly optimally."""
+        if not self.samples:
+            return float("nan")
+        r = self.ratios
+        return float(np.mean(np.isclose(r, 1.0)))
+
+    @property
+    def all_valid(self) -> bool:
+        return all(s.valid for s in self.samples)
+
+    def table(self) -> str:
+        """Fixed-width table of per-instance results."""
+        lines = [f"{'instance':<32} {'algo':>6} {'ref':>6} {'ratio':>7} valid"]
+        for s in self.samples:
+            lines.append(
+                f"{s.name:<32} {s.solver_value:>6} {s.reference_value:>6} "
+                f"{s.ratio:>7.3f} {'yes' if s.valid else 'NO'}"
+            )
+        lines.append(
+            f"-- mean {self.mean_ratio:.3f}, max {self.max_ratio:.3f}, "
+            f"optimal on {self.optimal_fraction * 100:.0f}%"
+        )
+        return "\n".join(lines)
+
+
+def measure_ratios(
+    instances: Iterable[ProblemInstance],
+    solver: Solver,
+    reference: Callable[[ProblemInstance], int],
+    names: Optional[Sequence[str]] = None,
+) -> RatioReport:
+    """Run ``solver`` on each instance and compare to ``reference``.
+
+    ``reference(instance)`` returns the optimal (or lower-bound) replica
+    count.  Every solver output is independently validated; invalid
+    placements are flagged in the report rather than silently counted.
+    """
+    report = RatioReport()
+    for idx, inst in enumerate(instances):
+        placement = solver(inst)
+        ok = not placement_violations(inst, placement)
+        ref = reference(inst)
+        name = (
+            names[idx]
+            if names is not None
+            else (inst.name or f"instance-{idx}")
+        )
+        report.samples.append(
+            RatioSample(name, placement.n_replicas, ref, ok)
+        )
+    return report
+
+
+def policy_gap(
+    instances: Iterable[ProblemInstance],
+    single_solver: Solver,
+    multiple_solver: Solver,
+) -> List[dict]:
+    """Single-vs-Multiple comparison on the same trees (benchmark E10).
+
+    Each instance is solved under both policies; returns one record per
+    instance with both replica counts and the gap.  The Multiple count
+    can never legitimately exceed the Single count for exact solvers
+    (any Single placement is a valid Multiple placement).
+    """
+    from ..core.policies import Policy
+
+    rows = []
+    for inst in instances:
+        s = single_solver(inst.with_policy(Policy.SINGLE))
+        m = multiple_solver(inst.with_policy(Policy.MULTIPLE))
+        rows.append(
+            {
+                "name": inst.name,
+                "single": s.n_replicas,
+                "multiple": m.n_replicas,
+                "gap": s.n_replicas - m.n_replicas,
+            }
+        )
+    return rows

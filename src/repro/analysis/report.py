@@ -1,0 +1,159 @@
+"""Self-contained reproduction report generator.
+
+Produces a markdown report regenerating the paper's headline numbers
+directly from the library (no pytest involved), for embedding in docs
+or CI artifacts:
+
+* tight-family tables (Theorems 3 and 4);
+* a Multiple-Bin optimality sweep against the exact solver (Theorem 6,
+  including the F1 near-miss accounting);
+* the reduction equivalences on small certified inputs (Theorems 1, 2
+  and 5).
+
+Exposed through ``replica-placement report`` on the CLI.  Kept
+deliberately smaller than the benchmark suite — minutes of compute at
+most — so it can run anywhere the library is installed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..algorithms import exact_multiple, exact_single, multiple_bin, single_gen, single_nod
+from ..core.policies import Policy
+from ..core.validation import is_valid
+from ..instances import (
+    random_binary_tree,
+    single_gen_tight_instance,
+    single_nod_tight_instance,
+)
+from ..reductions import (
+    build_i2,
+    build_i4,
+    build_i6,
+    i6_decision,
+    solve_three_partition,
+    solve_two_partition,
+    solve_two_partition_equal,
+)
+
+__all__ = [
+    "tight_family_report",
+    "optimality_report",
+    "reduction_report",
+    "full_report",
+]
+
+
+def tight_family_report(max_m: int = 6, arity: int = 3, max_k: int = 20) -> str:
+    """Markdown tables for the Theorem 3 / Theorem 4 tight families."""
+    lines: List[str] = ["## Tight families (Theorems 3 & 4)", ""]
+    lines.append(f"### single-gen on I_m (Δ = {arity}; bound Δ+1 = {arity + 1})")
+    lines.append("")
+    lines.append("| m | single-gen | optimal | ratio |")
+    lines.append("|---|-----------:|--------:|------:|")
+    for m in range(1, max_m + 1):
+        inst, opt = single_gen_tight_instance(m, arity)
+        p = single_gen(inst)
+        assert is_valid(inst, p) and is_valid(inst, opt)
+        lines.append(
+            f"| {m} | {p.n_replicas} | {opt.n_replicas} | "
+            f"{p.n_replicas / opt.n_replicas:.3f} |"
+        )
+    lines.append("")
+    lines.append("### single-nod on the Fig. 4 family (bound 2)")
+    lines.append("")
+    lines.append("| K | single-nod | optimal | ratio |")
+    lines.append("|---|-----------:|--------:|------:|")
+    K = 2
+    while K <= max_k:
+        inst, opt = single_nod_tight_instance(K)
+        p = single_nod(inst)
+        assert is_valid(inst, p) and is_valid(inst, opt)
+        lines.append(
+            f"| {K} | {p.n_replicas} | {opt.n_replicas} | "
+            f"{p.n_replicas / opt.n_replicas:.3f} |"
+        )
+        K *= 2
+    lines.append("")
+    return "\n".join(lines)
+
+
+def optimality_report(trials: int = 20, seed0: int = 0) -> str:
+    """Theorem 6 sweep: multiple-bin vs exact, per distance regime."""
+    lines = [
+        "## Theorem 6 sweep (multiple-bin vs exact optimum)",
+        "",
+        "| regime | optimal | max gap |",
+        "|--------|--------:|--------:|",
+    ]
+    for name, dmax in (("NoD", None), ("tight", 3.0), ("mid", 6.0), ("loose", 12.0)):
+        hits, gap = 0, 0
+        for s in range(trials):
+            inst = random_binary_tree(
+                6, 7, capacity=8, dmax=dmax, policy=Policy.MULTIPLE,
+                seed=seed0 + s, request_range=(1, 8),
+            )
+            p = multiple_bin(inst)
+            e = exact_multiple(inst).n_replicas
+            hits += p.n_replicas == e
+            gap = max(gap, p.n_replicas - e)
+        lines.append(f"| {name} (dmax={dmax}) | {hits}/{trials} | {gap} |")
+    lines.append("")
+    lines.append(
+        "Gaps > 0 reflect reproduction finding F1 (see EXPERIMENTS.md): "
+        "the literal Algorithm 3 is occasionally one replica above the "
+        "optimum in the intermediate-dmax regime."
+    )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def reduction_report() -> str:
+    """Reduction equivalences on small certified instances."""
+    lines = ["## Hardness reductions (Theorems 1, 2, 5)", ""]
+
+    a3, B = [30, 30, 30, 23, 31, 36], 90
+    inst2, _ = build_i2(a3, B)
+    yes3 = solve_three_partition(a3, B) is not None
+    opt2 = exact_single(inst2).n_replicas
+    lines.append(
+        f"* **I2** from 3-Partition {a3} (B={B}): partition "
+        f"{'exists' if yes3 else 'absent'}, optimum {opt2} "
+        f"(threshold m={len(a3) // 3}) — "
+        f"{'consistent' if (opt2 <= len(a3) // 3) == yes3 else 'MISMATCH'}"
+    )
+
+    a2 = [7, 3, 3, 3]
+    inst4, _ = build_i4(a2)
+    yes2 = solve_two_partition(a2) is not None
+    opt4 = exact_single(inst4).n_replicas
+    lines.append(
+        f"* **I4** from 2-Partition {a2}: partition "
+        f"{'exists' if yes2 else 'absent'}, optimum {opt4} — "
+        f"{'consistent' if (opt4 == 2) == yes2 else 'MISMATCH'}"
+    )
+
+    ae = [3, 5, 4, 6, 2, 4]
+    inst6, lay = build_i6(ae)
+    yese = solve_two_partition_equal(ae) is not None
+    dec, _ = i6_decision(inst6, lay)
+    lines.append(
+        f"* **I6** from 2-Partition-Equal {ae}: partition "
+        f"{'exists' if yese else 'absent'}, 4m-decision {dec} — "
+        f"{'consistent' if dec == yese else 'MISMATCH'}"
+    )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def full_report() -> str:
+    """The complete markdown reproduction report."""
+    header = (
+        "# Reproduction report\n\n"
+        "Generated by `repro.analysis.report` — regenerates the paper's "
+        "headline numbers from the installed library.\n"
+    )
+    return "\n".join(
+        [header, tight_family_report(), optimality_report(), reduction_report()]
+    )

@@ -1,0 +1,119 @@
+"""Sensitivity analysis: replica count vs model parameters.
+
+The paper treats ``W`` and ``dmax`` as givens; operators choose them.
+This module sweeps them and reports the provisioning curve:
+
+* :func:`dmax_sweep` — replicas needed as the latency SLA tightens.
+  For an *exact* solver the curve is provably non-increasing in
+  ``dmax`` (any placement valid under a smaller ``dmax`` stays valid
+  under a larger one); for the heuristics it is measured and the sweep
+  reports violations of monotonicity (the greedy algorithms are not
+  monotone in general — a looser SLA can change greedy decisions).
+* :func:`capacity_sweep` — replicas vs server capacity ``W``; again
+  exactly non-increasing for exact solvers.
+* :func:`knee` — the smallest parameter value whose replica count is
+  within a factor of the unconstrained optimum: where the provisioning
+  curve flattens, i.e. the SLA that stops costing extra servers.
+
+Each sweep returns a list of ``(value, replicas)`` points plus the
+solver validity flag per point, ready for tabulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.instance import ProblemInstance
+from ..core.placement import Placement
+from ..core.validation import is_valid
+
+__all__ = ["SweepPoint", "dmax_sweep", "capacity_sweep", "knee"]
+
+Solver = Callable[[ProblemInstance], Placement]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample."""
+
+    value: float
+    replicas: int
+    valid: bool
+
+
+def dmax_sweep(
+    instance: ProblemInstance,
+    solver: Solver,
+    dmax_values: Sequence[Optional[float]],
+) -> List[SweepPoint]:
+    """Solve the instance under each ``dmax`` (``None`` = NoD)."""
+    out: List[SweepPoint] = []
+    for d in dmax_values:
+        inst = ProblemInstance(
+            instance.tree, instance.capacity, d, instance.policy,
+            name=instance.name,
+        )
+        p = solver(inst)
+        out.append(
+            SweepPoint(
+                float("inf") if d is None else float(d),
+                p.n_replicas,
+                is_valid(inst, p),
+            )
+        )
+    return out
+
+
+def capacity_sweep(
+    instance: ProblemInstance,
+    solver: Solver,
+    capacities: Sequence[int],
+) -> List[SweepPoint]:
+    """Solve the instance under each server capacity ``W``."""
+    out: List[SweepPoint] = []
+    for W in capacities:
+        inst = ProblemInstance(
+            instance.tree, int(W), instance.dmax, instance.policy,
+            name=instance.name,
+        )
+        p = solver(inst)
+        out.append(SweepPoint(float(W), p.n_replicas, is_valid(inst, p)))
+    return out
+
+
+def knee(
+    points: Sequence[SweepPoint], slack: float = 0.0
+) -> Optional[SweepPoint]:
+    """First (smallest-value) point within ``(1+slack)`` of the curve's
+    minimum replica count — where further loosening stops paying.
+
+    ``points`` must be sorted by increasing value.  Returns ``None`` on
+    an empty sweep.
+    """
+    if not points:
+        return None
+    best = min(p.replicas for p in points)
+    threshold = best * (1.0 + slack)
+    for p in points:
+        if p.replicas <= threshold:
+            return p
+    return None  # pragma: no cover - some point always meets the min
+
+
+def render_sweep(points: Sequence[SweepPoint], param: str = "dmax") -> str:
+    """Fixed-width table plus a crude ASCII bar chart of the curve."""
+    if not points:
+        return "(empty sweep)"
+    peak = max(p.replicas for p in points) or 1
+    lines = [f"{param:>10} {'replicas':>9} {'valid':>6}  curve"]
+    for p in points:
+        bar = "#" * max(1, round(p.replicas / peak * 40))
+        val = "NoD" if p.value == float("inf") else f"{p.value:g}"
+        lines.append(
+            f"{val:>10} {p.replicas:>9} {'yes' if p.valid else 'NO':>6}  {bar}"
+        )
+    return "\n".join(lines)
+
+
+__all__.append("render_sweep")

@@ -1,0 +1,294 @@
+"""Command-line interface.
+
+Subcommands::
+
+    replica-placement generate --kind random --internal 20 --clients 40 \\
+        --capacity 50 --dmax 6 --out inst.json
+    replica-placement solve inst.json --algorithm single-gen
+    replica-placement check inst.json placement.json
+    replica-placement render inst.json [placement.json]
+    replica-placement info inst.json
+
+``solve`` writes the placement JSON to stdout (or ``--out``) and prints
+a summary to stderr, so pipelines can chain ``solve | check``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict
+
+from .algorithms import (
+    exact_optimal,
+    local_placement,
+    multiple_bin,
+    multiple_greedy,
+    single_gen,
+    single_greedy_packing,
+    single_nod,
+    single_push,
+)
+from .core import Placement, ProblemInstance, lower_bound, placement_violations
+from .instances import (
+    broom,
+    caterpillar,
+    dump_instance,
+    instance_to_dict,
+    load_instance,
+    placement_from_dict,
+    placement_to_dict,
+    random_binary_tree,
+    random_tree,
+    render_placement_summary,
+    render_tree,
+    star,
+)
+
+__all__ = ["main"]
+
+ALGORITHMS: Dict[str, Callable[[ProblemInstance], Placement]] = {
+    "single-gen": single_gen,
+    "single-nod": single_nod,
+    "single-push": single_push,
+    "multiple-bin": multiple_bin,
+    "multiple-greedy": multiple_greedy,
+    "greedy-packing": single_greedy_packing,
+    "local": local_placement,
+    "exact": exact_optimal,
+}
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    kind = args.kind
+    common = dict(
+        capacity=args.capacity,
+        dmax=args.dmax,
+        seed=args.seed,
+    )
+    if kind == "random":
+        inst = random_tree(
+            args.internal, args.clients, max_arity=args.arity, **common
+        )
+    elif kind == "binary":
+        inst = random_binary_tree(args.internal, args.clients, **common)
+    elif kind == "caterpillar":
+        inst = caterpillar(args.internal, **common)
+    elif kind == "broom":
+        inst = broom(args.internal, args.clients, **common)
+    elif kind == "star":
+        inst = star(args.clients, **common)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(kind)
+    if args.out:
+        dump_instance(inst, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        json.dump(instance_to_dict(inst), sys.stdout, indent=2)
+        print()
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    inst = load_instance(args.instance)
+    solver = ALGORITHMS[args.algorithm]
+    placement = solver(inst)
+    problems = placement_violations(inst, placement)
+    data = placement_to_dict(placement)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2)
+    else:
+        json.dump(data, sys.stdout, indent=2)
+        print()
+    print(
+        f"{args.algorithm}: {placement.n_replicas} replicas "
+        f"(lower bound {lower_bound(inst)}); "
+        + ("valid" if not problems else f"INVALID: {problems[0]}"),
+        file=sys.stderr,
+    )
+    return 0 if not problems else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    inst = load_instance(args.instance)
+    with open(args.placement, "r", encoding="utf-8") as fh:
+        placement = placement_from_dict(json.load(fh))
+    problems = placement_violations(inst, placement)
+    if problems:
+        for p in problems:
+            print(f"VIOLATION: {p}")
+        return 1
+    print(
+        f"valid placement: {placement.n_replicas} replicas, "
+        f"lower bound {lower_bound(inst)}"
+    )
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    inst = load_instance(args.instance)
+    placement = None
+    if args.placement:
+        with open(args.placement, "r", encoding="utf-8") as fh:
+            placement = placement_from_dict(json.load(fh))
+    print(render_tree(inst, placement))
+    if placement is not None:
+        print()
+        print(render_placement_summary(inst, placement))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    inst = load_instance(args.instance)
+    t = inst.tree
+    print(f"variant        : {inst.variant}")
+    print(f"nodes          : {len(t)} ({len(t.clients)} clients)")
+    print(f"arity          : {t.arity}")
+    print(f"capacity W     : {inst.capacity}")
+    print(f"dmax           : {inst.dmax}")
+    print(f"total demand   : {t.total_requests}")
+    print(f"lower bound    : {lower_bound(inst)}")
+    reason = inst.trivially_infeasible()
+    print(f"feasible       : {'no — ' + reason if reason else 'not excluded'}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .simulate import deterministic_trace, poisson_trace, simulate
+
+    inst = load_instance(args.instance)
+    with open(args.placement, "r", encoding="utf-8") as fh:
+        placement = placement_from_dict(json.load(fh))
+    problems = placement_violations(inst, placement)
+    if problems:
+        print(f"refusing to simulate an invalid placement: {problems[0]}")
+        return 1
+    horizon = args.horizon
+    if args.workload == "deterministic":
+        trace = deterministic_trace(inst.tree, horizon)
+    else:
+        trace = poisson_trace(inst.tree, float(horizon), seed=args.seed)
+    res = simulate(inst, placement, trace, horizon)
+    print(res.summary())
+    for s in sorted(placement.replicas):
+        print(
+            f"  server {s:>4}: peak {res.peak_load(s):>6} / {inst.capacity}"
+        )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    inst = load_instance(args.instance)
+    lb = lower_bound(inst)
+    print(f"{'algorithm':<16} {'replicas':>9} {'valid':>6}   (lower bound {lb})")
+    rc = 0
+    for name in args.algorithms:
+        solver = ALGORITHMS[name]
+        try:
+            placement = solver(inst)
+        except Exception as exc:  # noqa: BLE001 - report per-algorithm
+            print(f"{name:<16} {'—':>9} {'n/a':>6}   ({type(exc).__name__}: {exc})")
+            continue
+        problems = placement_violations(inst, placement)
+        if problems:
+            rc = 1
+        print(
+            f"{name:<16} {placement.n_replicas:>9} "
+            f"{'yes' if not problems else 'NO':>6}"
+        )
+    return rc
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis import full_report
+
+    text = full_report()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="replica-placement",
+        description="Replica placement with distance constraints in trees",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate an instance")
+    g.add_argument(
+        "--kind",
+        choices=["random", "binary", "caterpillar", "broom", "star"],
+        default="random",
+    )
+    g.add_argument("--internal", type=int, default=20)
+    g.add_argument("--clients", type=int, default=40)
+    g.add_argument("--capacity", type=int, required=True)
+    g.add_argument("--dmax", type=float, default=None)
+    g.add_argument("--arity", type=int, default=4)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--out", default=None)
+    g.set_defaults(func=_cmd_generate)
+
+    s = sub.add_parser("solve", help="solve an instance")
+    s.add_argument("instance")
+    s.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="single-gen"
+    )
+    s.add_argument("--out", default=None)
+    s.set_defaults(func=_cmd_solve)
+
+    c = sub.add_parser("check", help="validate a placement")
+    c.add_argument("instance")
+    c.add_argument("placement")
+    c.set_defaults(func=_cmd_check)
+
+    r = sub.add_parser("render", help="ASCII-render an instance")
+    r.add_argument("instance")
+    r.add_argument("placement", nargs="?", default=None)
+    r.set_defaults(func=_cmd_render)
+
+    i = sub.add_parser("info", help="instance statistics")
+    i.add_argument("instance")
+    i.set_defaults(func=_cmd_info)
+
+    sim = sub.add_parser("simulate", help="replay a request trace")
+    sim.add_argument("instance")
+    sim.add_argument("placement")
+    sim.add_argument(
+        "--workload", choices=["deterministic", "poisson"],
+        default="deterministic",
+    )
+    sim.add_argument("--horizon", type=int, default=10)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.set_defaults(func=_cmd_simulate)
+
+    cmp_ = sub.add_parser("compare", help="run several algorithms")
+    cmp_.add_argument("instance")
+    cmp_.add_argument(
+        "--algorithms", nargs="+", choices=sorted(ALGORITHMS),
+        default=["single-gen", "greedy-packing", "local"],
+    )
+    cmp_.set_defaults(func=_cmd_compare)
+
+    rep = sub.add_parser(
+        "report", help="regenerate the paper's headline numbers"
+    )
+    rep.add_argument("--out", default=None)
+    rep.set_defaults(func=_cmd_report)
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

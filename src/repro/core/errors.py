@@ -1,0 +1,75 @@
+"""Exception hierarchy for the replica-placement library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish structural problems (bad tree), modelling
+problems (bad instance), and solution problems (invalid placement).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidTreeError",
+    "InvalidInstanceError",
+    "InvalidPlacementError",
+    "InfeasibleInstanceError",
+    "NotBinaryTreeError",
+    "PolicyError",
+    "SolverError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class InvalidTreeError(ReproError):
+    """The distribution tree is structurally malformed.
+
+    Examples: a node whose parent index is out of range, a cycle in the
+    parent relation, a negative edge distance, requests attached to an
+    internal node.
+    """
+
+
+class InvalidInstanceError(ReproError):
+    """The problem instance parameters are malformed.
+
+    Examples: non-positive server capacity, negative ``dmax``.
+    """
+
+
+class InvalidPlacementError(ReproError):
+    """A placement violates the model constraints.
+
+    Raised by the independent checker in :mod:`repro.core.validation` when
+    a solution breaks ancestry, distance, capacity, policy or completeness
+    constraints.  The offending constraint is described in the message.
+    """
+
+
+class InfeasibleInstanceError(ReproError):
+    """No valid placement exists for the instance.
+
+    For the Single policy this happens when some client has more requests
+    than the server capacity ``W``; with distance constraints, a client
+    whose requests cannot legally reach any node (including itself) also
+    makes the instance infeasible.
+    """
+
+
+class NotBinaryTreeError(ReproError):
+    """An algorithm restricted to binary trees received a wider tree.
+
+    ``multiple-bin`` (Algorithm 3 of the paper) is only defined — and only
+    proven optimal — for trees of arity at most two.
+    """
+
+
+class PolicyError(ReproError):
+    """An algorithm was invoked with an access policy it does not support."""
+
+
+class SolverError(ReproError):
+    """Internal solver failure (budget exhausted, invariant broken)."""

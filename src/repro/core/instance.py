@@ -1,0 +1,137 @@
+"""Problem-instance model.
+
+A :class:`ProblemInstance` bundles the distribution tree with the server
+capacity ``W``, the distance bound ``dmax`` (``None`` encodes the *NoD*
+variants with no distance constraint), and the access policy.  It also
+provides the paper's variant naming scheme (``Single-NoD-Bin`` etc.) and
+cheap necessary feasibility checks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .errors import InvalidInstanceError
+from .policies import Policy
+from .tree import Tree
+
+__all__ = ["ProblemInstance"]
+
+
+@dataclass(frozen=True)
+class ProblemInstance:
+    """A replica-placement problem instance.
+
+    Attributes
+    ----------
+    tree:
+        The distribution tree (clients at leaves).
+    capacity:
+        Server capacity ``W`` — the number of requests a replica can
+        process per time unit.
+    dmax:
+        Maximum client→server distance, or ``None`` for no constraint.
+    policy:
+        :class:`~repro.core.policies.Policy` (Single or Multiple).
+    """
+
+    tree: Tree
+    capacity: int
+    dmax: Optional[float] = None
+    policy: Policy = Policy.SINGLE
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise InvalidInstanceError(
+                f"server capacity must be positive, got {self.capacity}"
+            )
+        if self.dmax is not None and (
+            not math.isfinite(self.dmax) or self.dmax < 0
+        ):
+            raise InvalidInstanceError(
+                f"dmax must be a non-negative finite number or None, got {self.dmax}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def has_distance_constraint(self) -> bool:
+        """True for the constrained variants, False for *NoD*."""
+        return self.dmax is not None
+
+    @property
+    def is_binary(self) -> bool:
+        """True iff the tree arity is at most 2 (the *Bin* variants)."""
+        return self.tree.is_binary
+
+    @property
+    def variant(self) -> str:
+        """The paper's name for this problem variant.
+
+        Examples: ``Single``, ``Single-NoD``, ``Single-NoD-Bin``,
+        ``Multiple-Bin``.
+        """
+        parts = ["Single" if self.policy is Policy.SINGLE else "Multiple"]
+        if not self.has_distance_constraint:
+            parts.append("NoD")
+        if self.is_binary:
+            parts.append("Bin")
+        return "-".join(parts)
+
+    # ------------------------------------------------------------------
+    def client_fits_server(self) -> bool:
+        """True iff every client demand fits one server (``r_i ≤ W``).
+
+        This is the precondition of Theorem 6 (optimality of
+        ``multiple-bin``) and a necessary condition for *any* Single
+        placement to exist.
+        """
+        return self.tree.max_request <= self.capacity
+
+    def trivially_infeasible(self) -> Optional[str]:
+        """Cheap necessary feasibility checks.
+
+        Returns a human-readable reason if the instance provably has no
+        solution, else ``None``.  Note this is *necessary*, not
+        sufficient: it never proves feasibility.
+        """
+        t = self.tree
+        if self.policy is Policy.SINGLE and t.max_request > self.capacity:
+            big = max(t.clients, key=t.requests)
+            return (
+                f"client {big} demands {t.requests(big)} > W={self.capacity}; "
+                "under the Single policy it cannot be served"
+            )
+        if self.policy is Policy.MULTIPLE:
+            # A client's requests can only go to ancestors within dmax; the
+            # client itself is always eligible, so the available capacity
+            # for client i is (number of eligible servers) * W.
+            for c in t.clients:
+                if t.requests(c) == 0:
+                    continue
+                k = len(t.eligible_servers(c, self.dmax))
+                if t.requests(c) > k * self.capacity:
+                    return (
+                        f"client {c} demands {t.requests(c)} but only {k} "
+                        f"eligible servers of capacity {self.capacity} exist "
+                        "within dmax"
+                    )
+        return None
+
+    # ------------------------------------------------------------------
+    def with_policy(self, policy: Policy) -> "ProblemInstance":
+        """Same instance under the other access policy."""
+        return ProblemInstance(self.tree, self.capacity, self.dmax, policy, self.name)
+
+    def without_distance(self) -> "ProblemInstance":
+        """The *NoD* relaxation of this instance."""
+        return ProblemInstance(self.tree, self.capacity, None, self.policy, self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        d = "NoD" if self.dmax is None else f"dmax={self.dmax}"
+        return (
+            f"ProblemInstance({self.variant}, n={len(self.tree)}, "
+            f"W={self.capacity}, {d})"
+        )

@@ -1,0 +1,154 @@
+"""Instance preprocessing: pruning and chain collapsing.
+
+Two rewrites shrink instances before solving, with placement mappings
+back to the original tree:
+
+* **prune** (:func:`prune_zero_demand`) — remove subtrees containing no
+  requests.  **Optimum-preserving**: a replica inside a demand-free
+  subtree serves nothing and can be dropped; every ancestor of a
+  demanding client survives, so placements map node-for-node in both
+  directions.
+* **collapse** (:func:`collapse_unary_chains`) — contract runs of unary
+  internal nodes, re-parenting each run's child to the ancestor above
+  the run with the accumulated edge length.  **Conservative, not always
+  optimum-preserving**: every placement on the collapsed tree is valid
+  on the original (surviving nodes exist there with identical client
+  sets and distances), so ``opt(original) ≤ opt(collapsed)`` and
+  solving the collapsed instance yields a feasible solution and an
+  upper bound.  Chain nodes, however, are candidate replica *hosts*:
+  under a distance constraint a solution may need several replicas
+  stacked along one chain (instance *I6* does exactly this), and then
+  the inequality is strict.  Equality holds whenever no optimal
+  solution hosts a replica on a removed node — in particular when each
+  chain's subtree demand fits one server, and empirically on typical
+  random instances (see the transform tests).
+
+:func:`preprocess` applies both and returns the reduced instance plus
+a :class:`NodeMap` that lifts placements back to the original node ids.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .instance import ProblemInstance
+from .placement import Placement
+from .tree import NO_PARENT, Tree
+
+__all__ = ["NodeMap", "preprocess", "prune_zero_demand", "collapse_unary_chains"]
+
+
+@dataclass(frozen=True)
+class NodeMap:
+    """Mapping between a reduced instance and its original.
+
+    ``to_original[v]`` gives the original node id of reduced node ``v``.
+    """
+
+    to_original: Tuple[int, ...]
+
+    def lift(self, placement: Placement) -> Placement:
+        """Re-express a placement on the reduced tree in original ids."""
+        replicas = [self.to_original[r] for r in placement.replicas]
+        assignments = {
+            (self.to_original[c], self.to_original[s]): a
+            for (c, s), a in placement.assignments.items()
+        }
+        return Placement(replicas, assignments)
+
+    def compose(self, earlier: "NodeMap") -> "NodeMap":
+        """Map through ``self`` then ``earlier``."""
+        return NodeMap(
+            tuple(earlier.to_original[v] for v in self.to_original)
+        )
+
+
+def _rebuild(
+    tree: Tree, keep: List[bool], new_parent: Dict[int, int],
+    new_delta: Dict[int, float],
+) -> Tuple[Tree, NodeMap]:
+    """Construct the reduced tree from keep-flags and parent overrides."""
+    old_ids = [v for v in tree.topological_order() if keep[v]]
+    index = {v: i for i, v in enumerate(old_ids)}
+    parents = []
+    deltas = []
+    requests = []
+    for v in old_ids:
+        p = new_parent.get(v, tree.parent(v))
+        parents.append(NO_PARENT if p == NO_PARENT else index[p])
+        deltas.append(new_delta.get(v, tree.delta(v)))
+        requests.append(tree.requests(v))
+    return Tree(parents, deltas, requests), NodeMap(tuple(old_ids))
+
+
+def prune_zero_demand(instance: ProblemInstance) -> Tuple[ProblemInstance, NodeMap]:
+    """Drop every subtree with no requests (keeping the root)."""
+    tree = instance.tree
+    demand = [0] * len(tree)
+    for v in tree.postorder():
+        demand[v] = tree.requests(v) + sum(
+            demand[c] for c in tree.children(v)
+        )
+    keep = [demand[v] > 0 or v == tree.root for v in range(len(tree))]
+    reduced, nmap = _rebuild(tree, keep, {}, {})
+    return (
+        ProblemInstance(
+            reduced, instance.capacity, instance.dmax, instance.policy,
+            name=instance.name,
+        ),
+        nmap,
+    )
+
+
+def collapse_unary_chains(
+    instance: ProblemInstance,
+) -> Tuple[ProblemInstance, NodeMap]:
+    """Contract runs of unary internal nodes (see module docstring).
+
+    Every non-root internal node with exactly one child is removed; its
+    edge length is folded into the child's edge.  Returns the reduced
+    instance and the node map.  Conservative: solutions of the reduced
+    instance lift to valid solutions of the original.
+    """
+    tree = instance.tree
+    keep = [True] * len(tree)
+    new_parent: Dict[int, int] = {}
+    new_delta: Dict[int, float] = {}
+    for v in tree.topological_order():
+        if v == tree.root:
+            continue
+        p = tree.parent(v)
+        # Walk up over removed unary ancestors, accumulating distance.
+        delta = tree.delta(v)
+        while p != tree.root and not keep[p]:
+            delta += tree.delta(p)
+            p = tree.parent(p)
+        if p != tree.parent(v):
+            new_parent[v] = p
+            new_delta[v] = delta
+        # Mark v for removal if it is a non-root unary internal node.
+        if (
+            tree.is_internal(v)
+            and len(tree.children(v)) == 1
+            and v != tree.root
+        ):
+            keep[v] = False
+    # Nodes marked unary but childless-after... cannot happen: unary
+    # means exactly one child, which survives or was re-parented through.
+    reduced, nmap = _rebuild(tree, keep, new_parent, new_delta)
+    return (
+        ProblemInstance(
+            reduced, instance.capacity, instance.dmax, instance.policy,
+            name=instance.name,
+        ),
+        nmap,
+    )
+
+
+def preprocess(instance: ProblemInstance) -> Tuple[ProblemInstance, NodeMap]:
+    """Prune demand-free subtrees, then collapse unary chains."""
+    pruned, m1 = prune_zero_demand(instance)
+    collapsed, m2 = collapse_unary_chains(pruned)
+    return collapsed, m2.compose(m1)

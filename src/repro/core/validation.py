@@ -1,0 +1,109 @@
+"""Independent placement checker.
+
+This module verifies every model constraint of the paper's framework
+(Section 2) against a :class:`~repro.core.placement.Placement`:
+
+1. **Completeness** — every client's requests are fully assigned
+   (``Σ_s r_{i,s} = r_i``).
+2. **Policy** — under Single, ``|servers(i)| = 1`` for every client with
+   requests.
+3. **Ancestry** — a server only processes requests of clients in its own
+   subtree (servers lie on the client's root path).
+4. **Distance** — ``dist(i, s) ≤ dmax`` for every assignment.
+5. **Capacity** — ``Σ_i r_{i,s} ≤ W`` for every server.
+6. **Registration** — every used server belongs to the replica set
+   ``R``, and replicas are valid tree nodes.
+
+It shares no code with the solvers, so it can be used as an oracle in
+tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .errors import InvalidPlacementError
+from .instance import ProblemInstance
+from .placement import Placement
+from .policies import Policy
+
+__all__ = ["check_placement", "placement_violations", "is_valid"]
+
+
+def placement_violations(
+    instance: ProblemInstance, placement: Placement
+) -> List[str]:
+    """Return a list of human-readable constraint violations (empty if valid)."""
+    tree = instance.tree
+    W = instance.capacity
+    dmax = instance.dmax
+    problems: List[str] = []
+
+    n = len(tree)
+    for r in placement.replicas:
+        if not 0 <= r < n:
+            problems.append(f"replica {r} is not a node of the tree")
+
+    # Registration + ancestry + distance, per assignment.
+    for a in placement.iter_assignments():
+        if not 0 <= a.client < n or not tree.is_leaf(a.client):
+            problems.append(f"assignment client {a.client} is not a leaf client")
+            continue
+        if not 0 <= a.server < n:
+            problems.append(f"assignment server {a.server} is not a tree node")
+            continue
+        if a.server not in placement.replicas:
+            problems.append(
+                f"server {a.server} serves client {a.client} but is not in R"
+            )
+        if not tree.is_ancestor(a.server, a.client):
+            problems.append(
+                f"server {a.server} is not on the root path of client "
+                f"{a.client} (subtree constraint violated)"
+            )
+            continue
+        if dmax is not None:
+            d = tree.distance_to_ancestor(a.client, a.server)
+            if d > dmax:
+                problems.append(
+                    f"client {a.client} served by {a.server} at distance "
+                    f"{d} > dmax={dmax}"
+                )
+
+    # Completeness and policy, per client.
+    for c in tree.clients:
+        r = tree.requests(c)
+        served = placement.served_amount(c)
+        if served != r:
+            problems.append(
+                f"client {c} has {r} requests but {served} are assigned"
+            )
+        if instance.policy is Policy.SINGLE and r > 0:
+            servers = placement.servers_of(c)
+            if len(servers) > 1:
+                problems.append(
+                    f"Single policy violated: client {c} uses servers {servers}"
+                )
+
+    # Capacity, per server.
+    for s, load in placement.loads().items():
+        if load > W:
+            problems.append(f"server {s} processes {load} > W={W} requests")
+
+    return problems
+
+
+def check_placement(instance: ProblemInstance, placement: Placement) -> None:
+    """Raise :class:`InvalidPlacementError` if the placement is invalid."""
+    problems = placement_violations(instance, placement)
+    if problems:
+        preview = "; ".join(problems[:5])
+        more = f" (+{len(problems) - 5} more)" if len(problems) > 5 else ""
+        raise InvalidPlacementError(
+            f"invalid placement for {instance.variant}: {preview}{more}"
+        )
+
+
+def is_valid(instance: ProblemInstance, placement: Placement) -> bool:
+    """True iff the placement satisfies every constraint."""
+    return not placement_violations(instance, placement)

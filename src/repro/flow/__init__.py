@@ -1,0 +1,6 @@
+"""Maximum-flow substrate (Dinic's algorithm on a compact arc list)."""
+
+from .dinic import max_flow
+from .graph import FlowNetwork
+
+__all__ = ["FlowNetwork", "max_flow"]

@@ -1,0 +1,82 @@
+"""Flow-network representation.
+
+A compact adjacency-list representation for integer-capacity flow
+networks, designed for repeated max-flow solves by
+:mod:`repro.flow.dinic`.  Arcs are stored in a flat edge array with
+paired reverse arcs at ``e ^ 1``, the classic layout for residual-graph
+algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = ["FlowNetwork"]
+
+
+class FlowNetwork:
+    """A directed graph with integer arc capacities.
+
+    Nodes are integers ``0 .. n-1``.  :meth:`add_edge` creates a forward
+    arc and its residual reverse arc; capacities live in :attr:`capacity`
+    and are mutated in place by the max-flow solver.
+    """
+
+    __slots__ = ("n", "head", "to", "next_edge", "capacity", "_orig_capacity")
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError("flow network needs at least one node")
+        self.n = n
+        self.head: List[int] = [-1] * n
+        self.to: List[int] = []
+        self.next_edge: List[int] = []
+        self.capacity: List[int] = []
+        self._orig_capacity: List[int] = []
+
+    def add_edge(self, u: int, v: int, cap: int) -> int:
+        """Add arc ``u → v`` with capacity ``cap``; returns the arc id.
+
+        The reverse residual arc is created at ``id ^ 1`` with capacity 0.
+        """
+        if cap < 0:
+            raise ValueError(f"capacity must be non-negative, got {cap}")
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise ValueError(f"arc ({u},{v}) out of range for n={self.n}")
+        eid = len(self.to)
+        # forward arc
+        self.to.append(v)
+        self.capacity.append(cap)
+        self._orig_capacity.append(cap)
+        self.next_edge.append(self.head[u])
+        self.head[u] = eid
+        # reverse arc
+        self.to.append(u)
+        self.capacity.append(0)
+        self._orig_capacity.append(0)
+        self.next_edge.append(self.head[v])
+        self.head[v] = eid + 1
+        return eid
+
+    def flow_on(self, eid: int) -> int:
+        """Flow currently pushed on forward arc ``eid``."""
+        return self._orig_capacity[eid] - self.capacity[eid]
+
+    def reset(self) -> None:
+        """Restore all capacities to their original values."""
+        self.capacity = list(self._orig_capacity)
+
+    def arcs(self) -> List[Tuple[int, int, int, int]]:
+        """All forward arcs as ``(id, u, v, capacity_remaining)``."""
+        out = []
+        for u in range(self.n):
+            e = self.head[u]
+            while e != -1:
+                if e % 2 == 0:
+                    out.append((e, u, self.to[e ^ 1], self.capacity[e]))
+                e = self.next_edge[e]
+        # ``to[e^1]`` above gives the arc's origin; recompute target:
+        return [(e, self.to[e ^ 1], self.to[e], c) for (e, _u, _v, c) in out]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FlowNetwork(n={self.n}, arcs={len(self.to) // 2})"

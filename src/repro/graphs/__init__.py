@@ -1,0 +1,6 @@
+"""General-graph front end: Dijkstra + spanning-tree extraction."""
+
+from .spanning import extract_spanning_instance
+from .weighted_graph import WeightedGraph, dijkstra
+
+__all__ = ["WeightedGraph", "dijkstra", "extract_spanning_instance"]

@@ -1,0 +1,107 @@
+"""Spanning-tree extraction: general graphs → distribution trees.
+
+Turns a general weighted graph with per-vertex demands into a
+:class:`~repro.core.instance.ProblemInstance`:
+
+1. compute the shortest-path tree from the chosen root (Dijkstra) — the
+   standard "good spanning tree" of the literature the paper cites:
+   client-to-root distances in the tree equal graph distances;
+2. renumber vertices so the root is node 0 and parents precede
+   children;
+3. demanding vertices that end up internal get a zero-distance *client
+   stub* leaf (the model attaches requests to leaves only; a replica at
+   the original vertex serves the stub at distance 0, so optimal values
+   are unaffected).
+
+Returns the instance plus the graph-vertex → client-node mapping so
+placements can be projected back onto the original network.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..core.errors import InvalidInstanceError
+from ..core.instance import ProblemInstance
+from ..core.policies import Policy
+from ..core.tree import NO_PARENT, Tree
+from .weighted_graph import WeightedGraph, dijkstra
+
+__all__ = ["extract_spanning_instance"]
+
+
+def extract_spanning_instance(
+    graph: WeightedGraph,
+    root: int,
+    demands: Mapping[int, int],
+    *,
+    capacity: int,
+    dmax: Optional[float] = None,
+    policy: Policy = Policy.SINGLE,
+    name: str = "",
+) -> Tuple[ProblemInstance, Dict[int, int]]:
+    """Build a tree instance from a general graph (see module docs).
+
+    ``demands`` maps graph vertices to request counts; vertices absent
+    or mapped to 0 issue no requests.  Raises
+    :class:`InvalidInstanceError` if a demanding vertex is unreachable
+    from the root.
+    """
+    dist, parent = dijkstra(graph, root)
+    for v, r in demands.items():
+        if r > 0 and math.isinf(dist[v]):
+            raise InvalidInstanceError(
+                f"vertex {v} has demand {r} but is unreachable from the root"
+            )
+
+    # Keep every vertex reachable from the root (unreachable zero-demand
+    # vertices are dropped).
+    keep = [v for v in range(graph.n) if not math.isinf(dist[v])]
+    # BFS order from the root so parents precede children.
+    order = [root]
+    children: Dict[int, list] = {v: [] for v in keep}
+    for v in keep:
+        if v != root:
+            children[parent[v]].append(v)
+    for v in order:
+        order.extend(children[v])
+
+    node_of: Dict[int, int] = {v: k for k, v in enumerate(order)}
+    parents = [NO_PARENT] * len(order)
+    deltas = [math.inf] * len(order)
+    requests = [0] * len(order)
+    for v in order:
+        if v != root:
+            parents[node_of[v]] = node_of[parent[v]]
+            deltas[node_of[v]] = dist[v] - dist[parent[v]]
+
+    client_of: Dict[int, int] = {}
+    extra_parents = []
+    extra_deltas = []
+    extra_requests = []
+    next_id = len(order)
+    for v in keep:
+        r = int(demands.get(v, 0))
+        if r <= 0:
+            continue
+        if children[v]:
+            # Internal vertex: attach a zero-distance client stub.
+            extra_parents.append(node_of[v])
+            extra_deltas.append(0.0)
+            extra_requests.append(r)
+            client_of[v] = next_id
+            next_id += 1
+        else:
+            requests[node_of[v]] = r
+            client_of[v] = node_of[v]
+
+    tree = Tree(
+        parents + extra_parents,
+        deltas + extra_deltas,
+        requests + extra_requests,
+    )
+    inst = ProblemInstance(
+        tree, capacity, dmax, policy, name=name or "spanning-tree"
+    )
+    return inst, client_of

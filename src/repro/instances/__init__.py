@@ -1,0 +1,38 @@
+"""Instance construction: generators, tight families, serialization."""
+
+from .ascii import render_placement_summary, render_tree
+from .families import binomial, cdn_hierarchy, full_kary, zipf_demands
+from .generators import broom, caterpillar, random_binary_tree, random_tree, star
+from .io import (
+    dump_instance,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    placement_from_dict,
+    placement_to_dict,
+    to_dot,
+)
+from .tight import single_gen_tight_instance, single_nod_tight_instance
+
+__all__ = [
+    "random_tree",
+    "random_binary_tree",
+    "caterpillar",
+    "broom",
+    "star",
+    "full_kary",
+    "binomial",
+    "cdn_hierarchy",
+    "zipf_demands",
+    "single_gen_tight_instance",
+    "single_nod_tight_instance",
+    "instance_to_dict",
+    "instance_from_dict",
+    "dump_instance",
+    "load_instance",
+    "placement_to_dict",
+    "placement_from_dict",
+    "to_dot",
+    "render_tree",
+    "render_placement_summary",
+]

@@ -1,0 +1,164 @@
+"""Structured instance families beyond the random generators.
+
+Deterministic parametric topologies used by the extended benchmarks and
+useful to downstream users:
+
+* :func:`full_kary` — complete k-ary tree of given depth, clients at
+  the bottom: the idealised CDN shape.
+* :func:`binomial` — binomial tree B_k: highly skewed degrees, the
+  classic adversarial shape for divide-and-conquer assumptions.
+* :func:`cdn_hierarchy` — core/metro/access/neighbourhood hierarchy
+  with Zipf-skewed demand (the Section 1 service-delivery scenario).
+* :func:`zipf_demands` — reusable skewed-demand sampler capped at the
+  capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.policies import Policy
+from ..core.tree import TreeBuilder
+
+__all__ = ["full_kary", "binomial", "cdn_hierarchy", "zipf_demands"]
+
+
+def zipf_demands(
+    n: int, capacity: int, *, alpha: float = 1.5, seed: int = 0
+) -> np.ndarray:
+    """``n`` integer demands, Zipf(alpha)-skewed, in ``[1, capacity]``."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not alpha > 1.0:
+        raise ValueError("zipf exponent must be > 1")
+    rng = np.random.default_rng(seed)
+    raw = rng.zipf(alpha, size=n).astype(float)
+    scaled = np.ceil(raw / raw.max() * capacity)
+    return np.clip(scaled, 1, capacity).astype(int)
+
+
+def full_kary(
+    k: int,
+    depth: int,
+    *,
+    capacity: int,
+    dmax: Optional[float] = None,
+    policy: Policy = Policy.SINGLE,
+    delta: float = 1.0,
+    request_range: tuple = (1, None),
+    seed: int = 0,
+) -> ProblemInstance:
+    """Complete k-ary tree of internal ``depth`` levels; clients fill
+    the last level (k per deepest internal node)."""
+    if k < 2 or depth < 1:
+        raise ValueError("need k >= 2 and depth >= 1")
+    rng = np.random.default_rng(seed)
+    lo, hi = request_range
+    hi = capacity if hi is None else hi
+
+    b = TreeBuilder()
+    level = [b.add_root()]
+    for _ in range(depth - 1):
+        nxt = []
+        for v in level:
+            nxt.extend(b.add(v, delta=delta) for _ in range(k))
+        level = nxt
+    for v in level:
+        for _ in range(k):
+            b.add(v, delta=delta, requests=int(rng.integers(lo, hi + 1)))
+    return ProblemInstance(
+        b.build(), capacity, dmax, policy, name=f"kary(k={k},d={depth})"
+    )
+
+
+def binomial(
+    order: int,
+    *,
+    capacity: int,
+    dmax: Optional[float] = None,
+    policy: Policy = Policy.SINGLE,
+    delta: float = 1.0,
+    request_range: tuple = (1, None),
+    seed: int = 0,
+) -> ProblemInstance:
+    """Binomial tree ``B_order`` (2^order nodes); every skeleton leaf
+    receives one client.
+
+    ``B_0`` is a single node; ``B_k`` is two linked ``B_{k-1}``.  The
+    root of ``B_k`` has degree ``k`` — maximal degree skew.
+    """
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    rng = np.random.default_rng(seed)
+    lo, hi = request_range
+    hi = capacity if hi is None else hi
+
+    b = TreeBuilder()
+    root = b.add_root()
+
+    # The children of a B_k root are the roots of B_{k-1} ... B_0;
+    # iterative so large orders do not hit the recursion limit.
+    stack = [(root, order)]
+    while stack:
+        node, k = stack.pop()
+        for i in range(k - 1, -1, -1):
+            child = b.add(node, delta=delta)
+            stack.append((child, i))
+
+    # Attach a client to every childless skeleton node.
+    parents = b.parents
+    n_skeleton = b.n_nodes
+    has_child = [False] * n_skeleton
+    for v in range(1, n_skeleton):
+        has_child[parents[v]] = True
+    for v in range(n_skeleton):
+        if not has_child[v]:
+            b.add(v, delta=delta, requests=int(rng.integers(lo, hi + 1)))
+    return ProblemInstance(
+        b.build(), capacity, dmax, policy, name=f"binomial({order})"
+    )
+
+
+def cdn_hierarchy(
+    metros: int = 3,
+    access_per_metro: int = 4,
+    hoods_per_access: int = 5,
+    *,
+    capacity: int = 400,
+    dmax: Optional[float] = None,
+    policy: Policy = Policy.SINGLE,
+    alpha: float = 1.5,
+    seed: int = 0,
+) -> ProblemInstance:
+    """Core → metro → access → neighbourhood hierarchy, Zipf demand.
+
+    Edge distances: core–metro in [3,5], metro–access in [1,3],
+    access–neighbourhood in [0.5,1.5] (uniform, seeded).
+    """
+    if min(metros, access_per_metro, hoods_per_access) < 1:
+        raise ValueError("all fan-outs must be >= 1")
+    rng = np.random.default_rng(seed)
+    n_clients = metros * access_per_metro * hoods_per_access
+    demand = zipf_demands(n_clients, capacity, alpha=alpha, seed=seed + 1)
+
+    b = TreeBuilder()
+    core = b.add_root()
+    k = 0
+    for _ in range(metros):
+        m = b.add(core, delta=float(rng.uniform(3, 5)))
+        for _ in range(access_per_metro):
+            a = b.add(m, delta=float(rng.uniform(1, 3)))
+            for _ in range(hoods_per_access):
+                b.add(
+                    a,
+                    delta=float(rng.uniform(0.5, 1.5)),
+                    requests=int(demand[k]),
+                )
+                k += 1
+    return ProblemInstance(
+        b.build(), capacity, dmax, policy,
+        name=f"cdn({metros}x{access_per_metro}x{hoods_per_access})",
+    )

@@ -1,0 +1,246 @@
+"""Random and structured instance generators.
+
+All generators are deterministic given a ``seed`` (numpy
+``default_rng``), return :class:`~repro.core.instance.ProblemInstance`
+objects, and guarantee the structural invariants of the model: clients
+are exactly the leaves, internal nodes carry no requests, every client
+demand respects ``r_i ≤ W`` unless explicitly asked otherwise.
+
+Topologies:
+
+* :func:`random_tree` — general Δ-ary random topology (internal skeleton
+  grown by preferential attachment under an arity budget, clients hung
+  on skeleton nodes).
+* :func:`random_binary_tree` — arity ≤ 2 (for the *Bin* variants).
+* :func:`caterpillar` — a long spine with one client per spine node:
+  deep trees for scaling experiments.
+* :func:`broom` — a spine ending in a fan of clients: concentrates
+  demand far from the root, stressing the distance constraint.
+* :func:`star` — one internal node, all clients attached: degenerates to
+  pure bin packing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.policies import Policy
+from ..core.tree import Tree, TreeBuilder
+
+__all__ = [
+    "random_tree",
+    "random_binary_tree",
+    "caterpillar",
+    "broom",
+    "star",
+]
+
+
+def _draw_requests(rng: np.random.Generator, n: int, lo: int, hi: int) -> np.ndarray:
+    if lo > hi:
+        raise ValueError(f"empty request range [{lo}, {hi}]")
+    return rng.integers(lo, hi + 1, size=n)
+
+
+def random_tree(
+    n_internal: int,
+    n_clients: int,
+    *,
+    capacity: int,
+    dmax: Optional[float] = None,
+    policy: Policy = Policy.SINGLE,
+    max_arity: int = 4,
+    request_range: tuple = (1, None),
+    delta_range: tuple = (1.0, 3.0),
+    seed: int = 0,
+) -> ProblemInstance:
+    """A random Δ-ary instance.
+
+    The internal skeleton is grown by attaching each new internal node to
+    a uniformly random internal node that still has arity budget (one
+    slot is reserved on every childless internal node so it can receive
+    a client and stay internal).  Clients are then distributed uniformly
+    over remaining slots, with at least one client under every childless
+    skeleton node.
+
+    ``request_range=(lo, hi)`` draws integer demands uniformly;
+    ``hi=None`` means the capacity ``W`` (so ``r_i ≤ W`` always holds).
+    """
+    if n_internal < 1:
+        raise ValueError("need at least one internal node (the root)")
+    if n_clients < 1:
+        raise ValueError("need at least one client")
+    if max_arity < 2:
+        raise ValueError("max_arity must be at least 2")
+    rng = np.random.default_rng(seed)
+    lo, hi = request_range
+    hi = capacity if hi is None else hi
+
+    b = TreeBuilder()
+    root = b.add_root()
+    internal = [root]
+    slots = {root: max_arity}
+    has_child = {root: False}
+
+    def draw_delta() -> float:
+        return float(rng.uniform(delta_range[0], delta_range[1]))
+
+    for _ in range(n_internal - 1):
+        open_nodes = [v for v in internal if slots[v] >= 1]
+        host = int(rng.choice(open_nodes))
+        node = b.add(host, delta=draw_delta())
+        slots[host] -= 1
+        has_child[host] = True
+        internal.append(node)
+        slots[node] = max_arity
+        has_child[node] = False
+
+    # Childless internal nodes must each get one client or they would be
+    # leaves (and hence clients) themselves.
+    childless = [v for v in internal if not has_child[v]]
+    if n_clients < len(childless):
+        raise ValueError(
+            f"{len(childless)} skeleton leaves need a client each but only "
+            f"{n_clients} clients requested; increase n_clients or reduce "
+            "n_internal"
+        )
+    demands = _draw_requests(rng, n_clients, lo, hi)
+    k = 0
+    for v in childless:
+        b.add(v, delta=draw_delta(), requests=int(demands[k]))
+        slots[v] -= 1
+        has_child[v] = True
+        k += 1
+    while k < n_clients:
+        open_nodes = [v for v in internal if slots[v] >= 1]
+        if not open_nodes:
+            raise ValueError(
+                "arity budget exhausted: raise max_arity or n_internal"
+            )
+        host = int(rng.choice(open_nodes))
+        b.add(host, delta=draw_delta(), requests=int(demands[k]))
+        slots[host] -= 1
+        k += 1
+
+    return ProblemInstance(
+        b.build(), capacity, dmax, policy, name=f"random(seed={seed})"
+    )
+
+
+def random_binary_tree(
+    n_internal: int,
+    n_clients: int,
+    *,
+    capacity: int,
+    dmax: Optional[float] = None,
+    policy: Policy = Policy.MULTIPLE,
+    request_range: tuple = (1, None),
+    delta_range: tuple = (1.0, 3.0),
+    seed: int = 0,
+) -> ProblemInstance:
+    """A random binary instance (arity ≤ 2), default Multiple policy."""
+    return random_tree(
+        n_internal,
+        n_clients,
+        capacity=capacity,
+        dmax=dmax,
+        policy=policy,
+        max_arity=2,
+        request_range=request_range,
+        delta_range=delta_range,
+        seed=seed,
+    )
+
+
+def caterpillar(
+    length: int,
+    *,
+    capacity: int,
+    dmax: Optional[float] = None,
+    policy: Policy = Policy.SINGLE,
+    request_range: tuple = (1, None),
+    delta: float = 1.0,
+    seed: int = 0,
+) -> ProblemInstance:
+    """A spine of ``length`` internal nodes, one client per spine node.
+
+    Binary (every spine node has the next spine node and one client),
+    maximally deep — the stress topology for recursion-free traversals
+    and the scaling benchmark E9.
+    """
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    rng = np.random.default_rng(seed)
+    lo, hi = request_range
+    hi = capacity if hi is None else hi
+    demands = _draw_requests(rng, length, lo, hi)
+
+    b = TreeBuilder()
+    spine = b.add_root()
+    for k in range(length):
+        b.add(spine, delta=delta, requests=int(demands[k]))
+        if k < length - 1:
+            spine = b.add(spine, delta=delta)
+    return ProblemInstance(
+        b.build(), capacity, dmax, policy, name=f"caterpillar({length})"
+    )
+
+
+def broom(
+    handle: int,
+    n_clients: int,
+    *,
+    capacity: int,
+    dmax: Optional[float] = None,
+    policy: Policy = Policy.SINGLE,
+    request_range: tuple = (1, None),
+    delta: float = 1.0,
+    seed: int = 0,
+) -> ProblemInstance:
+    """A spine of ``handle`` nodes ending in a fan of ``n_clients``.
+
+    All demand sits at depth ``handle`` — with a tight ``dmax`` the fan
+    must be served locally, exercising the distance rules.
+    """
+    if handle < 1 or n_clients < 1:
+        raise ValueError("handle and n_clients must be >= 1")
+    rng = np.random.default_rng(seed)
+    lo, hi = request_range
+    hi = capacity if hi is None else hi
+    demands = _draw_requests(rng, n_clients, lo, hi)
+
+    b = TreeBuilder()
+    node = b.add_root()
+    for _ in range(handle - 1):
+        node = b.add(node, delta=delta)
+    for k in range(n_clients):
+        b.add(node, delta=delta, requests=int(demands[k]))
+    return ProblemInstance(
+        b.build(), capacity, dmax, policy, name=f"broom({handle},{n_clients})"
+    )
+
+
+def star(
+    n_clients: int,
+    *,
+    capacity: int,
+    dmax: Optional[float] = None,
+    policy: Policy = Policy.SINGLE,
+    request_range: tuple = (1, None),
+    delta: float = 1.0,
+    seed: int = 0,
+) -> ProblemInstance:
+    """One internal root with ``n_clients`` children: pure bin packing."""
+    return broom(
+        1,
+        n_clients,
+        capacity=capacity,
+        dmax=dmax,
+        policy=policy,
+        request_range=request_range,
+        delta=delta,
+        seed=seed,
+    )

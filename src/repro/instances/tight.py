@@ -1,0 +1,150 @@
+"""The paper's tight worst-case instance families.
+
+Two constructions show the approximation factors of Theorems 3 and 4
+cannot be improved:
+
+* :func:`single_gen_tight_instance` — the family ``I_m`` of Fig. 3, on
+  which ``single-gen`` opens ``m(Δ+1)`` replicas while ``m+1`` suffice,
+  so the ratio tends to ``Δ+1``.
+* :func:`single_nod_tight_instance` — the family of Fig. 4, on which
+  ``single-nod`` opens ``2K`` replicas while ``K+1`` suffice, so the
+  ratio tends to 2.
+
+Both builders also return the paper's *hand-crafted optimal* placement
+(checker-validated in the tests), so benchmarks can report exact ratios
+without running the exponential exact solver on large members of the
+family.
+
+Reconstruction note (Fig. 3): the HAL text describes the figure rather
+than tabulating it; the request values below are re-derived from the
+proof's arithmetic and reproduce every number the text states — the
+children of ``n_{i,2}`` sum to ``mΔ + (Δ-2)·1 + 2 = mΔ + Δ > W``, the
+optimum serves exactly ``W = mΔ + Δ - 1`` at each ``n_{i,1}`` and
+``mΔ`` at the root, and the total demand is ``m(mΔ + 2Δ - 1)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..core.instance import ProblemInstance
+from ..core.placement import Placement
+from ..core.policies import Policy
+from ..core.tree import TreeBuilder
+
+__all__ = [
+    "single_gen_tight_instance",
+    "single_nod_tight_instance",
+]
+
+
+def single_gen_tight_instance(
+    m: int, arity: int
+) -> Tuple[ProblemInstance, Placement]:
+    """Build ``I_m`` (Fig. 3) plus its optimal placement.
+
+    Blocks ``A_1 .. A_m`` are chained below the root ``n_0``; block
+    ``A_i`` consists of a three-node spine ``n_{i,1} → n_{i,2} →
+    n_{i,3}`` and the clients:
+
+    ========== ============ =================== ==========================
+    client      parent       requests            edge distance
+    ========== ============ =================== ==========================
+    c_{i,Δ}     n_{i,1}      Δ - 1               dmax   (pinned to block)
+    c_{i,1..Δ-2} n_{i,2}     1 each              1
+    c_{i,Δ-1}   n_{i,2}      mΔ                  1
+    c_{i,Δ+1}   n_{i,3}      2                   1
+    ========== ============ =================== ==========================
+
+    with ``W = mΔ + Δ - 1`` and ``dmax = 4m``; all other distances are 1.
+
+    ``single-gen`` opens ``Δ+1`` replicas per block
+    (``c_{i,1..Δ-1}``, ``n_{i,3}`` by the capacity rule and ``n_{i,1}``
+    by the distance rule); the optimum opens ``n_{i,1}`` per block plus
+    the root: ratio ``m(Δ+1)/(m+1) → Δ+1``.
+
+    Returns ``(instance, optimal_placement)``.
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if arity < 2:
+        raise ValueError("arity must be >= 2")
+    delta_a = arity
+    dmax = 4.0 * m
+    W = m * delta_a + delta_a - 1
+
+    b = TreeBuilder()
+    n0 = b.add_root()
+    attach = n0  # node the next block hangs from
+
+    opt_assign: Dict[Tuple[int, int], int] = {}
+    opt_replicas = [n0]
+
+    for _i in range(1, m + 1):
+        ni1 = b.add(attach, delta=1.0)
+        # c_{i,Δ}: pinned to the block by an edge of length dmax.
+        c_far = b.add(ni1, delta=dmax, requests=delta_a - 1)
+        ni2 = b.add(ni1, delta=1.0)
+        small = [
+            b.add(ni2, delta=1.0, requests=1) for _ in range(delta_a - 2)
+        ]
+        c_big = b.add(ni2, delta=1.0, requests=m * delta_a)
+        ni3 = b.add(ni2, delta=1.0)
+        c_tail = b.add(ni3, delta=1.0, requests=2)
+
+        # Optimal: n_{i,1} serves the pinned and the big client (= W),
+        # the root serves the small clients and the tail client.
+        opt_replicas.append(ni1)
+        opt_assign[(c_far, ni1)] = delta_a - 1
+        opt_assign[(c_big, ni1)] = m * delta_a
+        for c in small:
+            opt_assign[(c, n0)] = 1
+        opt_assign[(c_tail, n0)] = 2
+
+        attach = ni3
+
+    tree = b.build()
+    instance = ProblemInstance(
+        tree,
+        W,
+        dmax,
+        Policy.SINGLE,
+        name=f"Im(m={m},arity={arity})",
+    )
+    optimal = Placement(opt_replicas, opt_assign)
+    return instance, optimal
+
+
+def single_nod_tight_instance(K: int) -> Tuple[ProblemInstance, Placement]:
+    """Build the Fig. 4 family plus its optimal placement.
+
+    ``W = K``; the root has ``K`` internal children ``n_1 .. n_K``, each
+    with two clients: one demanding ``K`` (a full server) and one
+    demanding 1.  ``single-nod`` packs the 1-demand client at ``n_i``
+    and is then forced to open the K-demand client as its own replica
+    (the ``jmin`` rule), giving ``2K`` replicas; the optimum serves the
+    K-demand client at ``n_i`` and all 1-demand clients at the root,
+    giving ``K+1``.  Ratio ``2K/(K+1) → 2``.
+
+    Returns ``(instance, optimal_placement)``.
+    """
+    if K < 2:
+        raise ValueError("K must be >= 2")
+    b = TreeBuilder()
+    root = b.add_root()
+    opt_assign: Dict[Tuple[int, int], int] = {}
+    opt_replicas = [root]
+    for _ in range(K):
+        ni = b.add(root, delta=1.0)
+        c_full = b.add(ni, delta=1.0, requests=K)
+        c_one = b.add(ni, delta=1.0, requests=1)
+        opt_replicas.append(ni)
+        opt_assign[(c_full, ni)] = K
+        opt_assign[(c_one, root)] = 1
+
+    tree = b.build()
+    instance = ProblemInstance(
+        tree, K, None, Policy.SINGLE, name=f"Fig4(K={K})"
+    )
+    optimal = Placement(opt_replicas, opt_assign)
+    return instance, optimal

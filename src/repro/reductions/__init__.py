@@ -1,0 +1,39 @@
+"""Hardness-proof reductions (Theorems 1, 2, 5) and partition solvers."""
+
+from .partition_equal import (
+    I6Layout,
+    build_i6,
+    i6_decision,
+    i6_target_replicas,
+    placement_from_partition_equal,
+)
+from .partition_solvers import (
+    solve_three_partition,
+    solve_two_partition,
+    solve_two_partition_equal,
+)
+from .three_partition import (
+    build_i2,
+    i2_target_replicas,
+    placement_from_three_partition,
+    validate_three_partition_input,
+)
+from .two_partition import build_i4, i4_gap_decision, placement_from_two_partition
+
+__all__ = [
+    "solve_two_partition",
+    "solve_two_partition_equal",
+    "solve_three_partition",
+    "build_i2",
+    "i2_target_replicas",
+    "placement_from_three_partition",
+    "validate_three_partition_input",
+    "build_i4",
+    "i4_gap_decision",
+    "placement_from_two_partition",
+    "build_i6",
+    "i6_decision",
+    "i6_target_replicas",
+    "placement_from_partition_equal",
+    "I6Layout",
+]

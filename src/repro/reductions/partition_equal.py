@@ -1,0 +1,222 @@
+"""Theorem 5 reduction: 2-Partition-Equal → Multiple-Bin (instance *I6*).
+
+This is the construction showing that **Multiple-Bin is NP-hard when a
+client may exceed the server capacity** (here a client demands
+``(2m+1)·W``), complementing Theorem 6's polynomial algorithm for
+``r_i ≤ W``.
+
+Given ``2m`` positive integers ``a_1 .. a_{2m}`` with ``S = Σ a_i``, let
+``W = S/2 + 1``, ``b_i = S/2 − 2·a_i`` and ``dmax = 3m``.  The tree has
+``5m − 1`` internal nodes and ``5m`` clients (Fig. 5, fully specified in
+the text):
+
+* spine ``n_{2m+1} … n_{5m-1}`` (root ``n_{5m-1}``), distance-1 edges;
+* for ``1 ≤ j ≤ 2m``: ``n_j`` hangs from ``n_{2m+j}``, with two clients
+  — ``a_j`` requests at distance ``j + (m−2)`` and ``b_j`` requests at
+  distance 1;
+* for ``4m+1 ≤ j ≤ 5m−1``: one client with 1 request at distance
+  ``dmax`` (it can only be served by its parent);
+* ``n_{2m+1}``: one client with ``(2m+1)·W`` requests at distance
+  ``m+1`` — it saturates the ``2m+1`` replicas ``n_{2m+1} … n_{4m}``
+  plus itself.
+
+A placement with ``4m`` replicas exists iff the 2-Partition-Equal
+instance is a *yes*-instance.
+
+Validity domain: ``m ≥ 2``, ``S`` even, and ``b_i ≥ 0`` (i.e. every
+``a_i ≤ S/4``) — the reduction's arithmetic needs non-negative ``b_i``;
+2-Partition-Equal restricted to such inputs stays NP-hard (add a large
+constant ``M`` to every ``a_i``: equal-cardinality partitions are
+preserved and the ratio ``a_i/S → 1/(2m)``).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..algorithms.feasibility import multiple_assignment
+from ..core.instance import ProblemInstance
+from ..core.placement import Placement
+from ..core.policies import Policy
+from ..core.tree import TreeBuilder
+
+__all__ = [
+    "I6Layout",
+    "build_i6",
+    "i6_target_replicas",
+    "placement_from_partition_equal",
+    "i6_decision",
+]
+
+
+class I6Layout:
+    """Node-id bookkeeping for instance *I6*.
+
+    Attributes map the paper's names to tree node ids:
+    ``n[j]`` for ``1 ≤ j ≤ 5m-1``; ``client_a[j]``, ``client_b[j]`` for
+    ``1 ≤ j ≤ 2m``; ``client_one[j]`` for ``4m+1 ≤ j ≤ 5m-1``;
+    ``client_big``.
+    """
+
+    def __init__(self, m: int) -> None:
+        self.m = m
+        self.n: Dict[int, int] = {}
+        self.client_a: Dict[int, int] = {}
+        self.client_b: Dict[int, int] = {}
+        self.client_one: Dict[int, int] = {}
+        self.client_big: int = -1
+
+
+def build_i6(a: Sequence[int]) -> Tuple[ProblemInstance, I6Layout]:
+    """Build instance *I6* for the 2-Partition-Equal input ``a``."""
+    a = [int(x) for x in a]
+    if len(a) % 2 != 0 or len(a) < 4:
+        raise ValueError("need an even number (>= 4) of integers")
+    m = len(a) // 2
+    if any(x <= 0 for x in a):
+        raise ValueError("2-Partition-Equal requires positive integers")
+    S = sum(a)
+    if S % 2 != 0:
+        raise ValueError("odd total: the answer is trivially no")
+    W = S // 2 + 1
+    b_vals = [S // 2 - 2 * x for x in a]
+    if any(x < 0 for x in b_vals):
+        raise ValueError(
+            "some a_i > S/4 makes b_i negative; rescale the input "
+            "(add a constant to every a_i) before reducing"
+        )
+    dmax = 3.0 * m
+
+    lay = I6Layout(m)
+    b = TreeBuilder()
+    root = b.add_root()  # n_{5m-1}
+    lay.n[5 * m - 1] = root
+    # Spine n_{5m-2} ... n_{2m+1}, top-down.
+    for j in range(5 * m - 2, 2 * m, -1):
+        lay.n[j] = b.add(lay.n[j + 1], delta=1.0)
+    # n_1..n_2m hang from n_{2m+j}.
+    for j in range(1, 2 * m + 1):
+        lay.n[j] = b.add(lay.n[2 * m + j], delta=1.0)
+        lay.client_a[j] = b.add(
+            lay.n[j], delta=float(j + m - 2), requests=a[j - 1]
+        )
+        lay.client_b[j] = b.add(lay.n[j], delta=1.0, requests=b_vals[j - 1])
+    # 1-request clients pinned to n_{4m+1} .. n_{5m-1}.
+    for j in range(4 * m + 1, 5 * m):
+        lay.client_one[j] = b.add(lay.n[j], delta=dmax, requests=1)
+    # The oversized client of n_{2m+1}.
+    lay.client_big = b.add(
+        lay.n[2 * m + 1], delta=float(m + 1), requests=(2 * m + 1) * W
+    )
+
+    tree = b.build()
+    inst = ProblemInstance(
+        tree, W, dmax, Policy.MULTIPLE, name=f"I6(m={m})"
+    )
+    return inst, lay
+
+
+def i6_target_replicas(m: int) -> int:
+    """The decision threshold ``K = 4m`` of the reduction."""
+    return 4 * m
+
+
+def placement_from_partition_equal(
+    instance: ProblemInstance,
+    lay: I6Layout,
+    subset: Sequence[int],
+) -> Placement:
+    """Map a 2-Partition-Equal solution to the 4m-replica placement.
+
+    ``subset`` holds 0-based indices into ``a`` with ``|subset| = m`` and
+    ``Σ_{i∈subset} a_i = S/2``.  Follows the paper's *yes*-direction
+    assignment verbatim; every constraint is re-checked downstream by the
+    independent validator in the tests.
+    """
+    m = lay.m
+    tree = instance.tree
+    W = instance.capacity
+    inside = {i + 1 for i in subset}  # paper indexes 1..2m
+
+    replicas: List[int] = []
+    assign: Dict[Tuple[int, int], int] = {}
+
+    # n_i for i in I serve both their clients.
+    for j in sorted(inside):
+        replicas.append(lay.n[j])
+        if tree.requests(lay.client_a[j]) > 0:
+            assign[(lay.client_a[j], lay.n[j])] = tree.requests(lay.client_a[j])
+        if tree.requests(lay.client_b[j]) > 0:
+            assign[(lay.client_b[j], lay.n[j])] = tree.requests(lay.client_b[j])
+
+    # n_{2m+1} .. n_{4m} and the big client itself absorb (2m+1)·W.
+    big = lay.client_big
+    replicas.append(big)
+    assign[(big, big)] = W
+    for j in range(2 * m + 1, 4 * m + 1):
+        replicas.append(lay.n[j])
+        assign[(big, lay.n[j])] = W
+
+    # Top spine nodes n_{4m+1} .. n_{5m-1}: their own pinned client, the
+    # a_i (i∉I) on n_{4m+1}, the b_i spread over the remaining capacity.
+    outside = [j for j in range(1, 2 * m + 1) if j not in inside]
+    top = list(range(4 * m + 1, 5 * m))
+    for j in top:
+        replicas.append(lay.n[j])
+        assign[(lay.client_one[j], lay.n[j])] = 1
+    first = 4 * m + 1
+    for j in outside:
+        if tree.requests(lay.client_a[j]) > 0:
+            assign[(lay.client_a[j], lay.n[first])] = tree.requests(
+                lay.client_a[j]
+            )
+    # Distribute the b_i (i∉I) greedily over n_{4m+2} .. n_{5m-1}
+    # (capacity W-1 each after their pinned client).
+    free = {j: W - 1 for j in top[1:]}
+    for j in outside:
+        remaining = tree.requests(lay.client_b[j])
+        for k in top[1:]:
+            if remaining == 0:
+                break
+            take = min(remaining, free[k])
+            if take > 0:
+                assign[(lay.client_b[j], lay.n[k])] = (
+                    assign.get((lay.client_b[j], lay.n[k]), 0) + take
+                )
+                free[k] -= take
+                remaining -= take
+        if remaining != 0:
+            raise ValueError(
+                "subset is not a valid 2-Partition-Equal solution: "
+                "the b_i overflow the top spine capacity"
+            )
+
+    return Placement(replicas, assign)
+
+
+def i6_decision(
+    instance: ProblemInstance, lay: I6Layout
+) -> Tuple[bool, Optional[List[int]]]:
+    """Decide whether *I6* admits a ``4m``-replica placement.
+
+    Uses the forced-structure argument of the proof: any 4m-replica
+    solution must open ``n_{4m+1}..n_{5m-1}`` (pinned 1-request
+    clients), ``n_{2m+1}..n_{4m}`` plus the big client (the only nodes
+    able to absorb ``(2m+1)·W``), leaving exactly ``m`` replicas to pick
+    among ``n_1 .. n_{2m}``.  Each of the ``C(2m, m)`` choices is tested
+    with the max-flow feasibility oracle.
+
+    Returns ``(feasible, subset)`` with the 0-based witness subset on
+    success.
+    """
+    m = lay.m
+    forced = (
+        [lay.n[j] for j in range(2 * m + 1, 5 * m)]
+        + [lay.client_big]
+    )
+    for chosen in combinations(range(1, 2 * m + 1), m):
+        replicas = forced + [lay.n[j] for j in chosen]
+        if multiple_assignment(instance, replicas) is not None:
+            return True, [j - 1 for j in chosen]
+    return False, None

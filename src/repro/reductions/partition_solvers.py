@@ -1,0 +1,154 @@
+"""Exact solvers for the partition problems used in the reductions.
+
+The paper's hardness proofs reduce from three classics (Garey & Johnson):
+
+* **2-Partition** (Theorem 2): split integers into two halves of equal
+  sum — pseudo-polynomial DP over reachable sums (bitset).
+* **2-Partition-Equal** (Theorem 5): additionally both halves must have
+  the same cardinality — DP over (cardinality, sum) layers.
+* **3-Partition** (Theorem 1): split ``3m`` integers with
+  ``B/4 < a_i < B/2`` into ``m`` triples of sum ``B`` — strongly NP-hard;
+  solved by backtracking anchored at the smallest unused element.
+
+These solvers let the benchmark harness construct *yes* and *no*
+instances with certified answers, and map partition solutions through
+the reductions into replica placements (and back).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["solve_two_partition", "solve_two_partition_equal", "solve_three_partition"]
+
+
+def solve_two_partition(a: Sequence[int]) -> Optional[List[int]]:
+    """Indices ``I`` with ``Σ_{i∈I} a_i = Σ_{i∉I} a_i``, or ``None``.
+
+    Bitset subset-sum DP, ``O(n · S)`` bit-operations with tiny
+    constants (Python big-int shifts).
+    """
+    a = list(a)
+    if any(x < 0 for x in a):
+        raise ValueError("2-Partition requires non-negative integers")
+    S = sum(a)
+    if S % 2 != 0:
+        return None
+    target = S // 2
+    reach = 1  # bit k set <=> sum k reachable
+    layers = [reach]
+    for x in a:
+        reach |= reach << x
+        layers.append(reach)
+    if not (reach >> target) & 1:
+        return None
+    # Backtrack through the per-item layers.
+    chosen: List[int] = []
+    t = target
+    for i in range(len(a) - 1, -1, -1):
+        # If t was reachable without item i, skip it; else take it.
+        if (layers[i] >> t) & 1:
+            continue
+        chosen.append(i)
+        t -= a[i]
+    chosen.reverse()
+    return chosen
+
+
+def solve_two_partition_equal(a: Sequence[int]) -> Optional[List[int]]:
+    """Indices ``I`` with ``|I| = n/2`` and equal sums, or ``None``.
+
+    Requires an even number of items.  DP layered by cardinality:
+    ``dp[k]`` is the bitset of sums achievable with exactly ``k`` items.
+    """
+    a = list(a)
+    n = len(a)
+    if n % 2 != 0:
+        raise ValueError("2-Partition-Equal requires an even item count")
+    if any(x < 0 for x in a):
+        raise ValueError("2-Partition-Equal requires non-negative integers")
+    S = sum(a)
+    if S % 2 != 0:
+        return None
+    target, m = S // 2, n // 2
+
+    dp = [0] * (m + 1)
+    dp[0] = 1
+    history: List[List[int]] = [list(dp)]
+    for x in a:
+        for k in range(m, 0, -1):
+            dp[k] |= dp[k - 1] << x
+        history.append(list(dp))
+    if not (dp[m] >> target) & 1:
+        return None
+    # Backtrack: walk items in reverse, preferring to skip.
+    chosen: List[int] = []
+    t, k = target, m
+    for i in range(n - 1, -1, -1):
+        if (history[i][k] >> t) & 1:
+            continue
+        chosen.append(i)
+        t -= a[i]
+        k -= 1
+    chosen.reverse()
+    return chosen
+
+
+def solve_three_partition(
+    a: Sequence[int], B: Optional[int] = None
+) -> Optional[List[Tuple[int, int, int]]]:
+    """Partition into triples of equal sum ``B``, or ``None``.
+
+    ``B`` defaults to ``3·sum(a)/len(a)/3 = sum(a)/m``.  Backtracking:
+    the smallest-index unused element anchors the next triple, the two
+    partners are searched among larger indices — this canonical ordering
+    avoids revisiting permutations of the same triple set.  Exponential
+    in the worst case (the problem is strongly NP-hard); fine for the
+    reduction-scale instances (``m ≤ 6``).
+    """
+    a = list(a)
+    n = len(a)
+    if n % 3 != 0:
+        raise ValueError("3-Partition requires a multiple of 3 items")
+    if any(x <= 0 for x in a):
+        raise ValueError("3-Partition requires positive integers")
+    m = n // 3
+    total = sum(a)
+    if B is None:
+        if total % m != 0:
+            return None
+        B = total // m
+    elif total != m * B:
+        return None
+
+    used = [False] * n
+    triples: List[Tuple[int, int, int]] = []
+
+    def backtrack() -> bool:
+        try:
+            anchor = used.index(False)
+        except ValueError:
+            return True
+        used[anchor] = True
+        rem = B - a[anchor]
+        for j in range(anchor + 1, n):
+            if used[j] or a[j] >= rem:
+                continue
+            used[j] = True
+            need = rem - a[j]
+            for k in range(j + 1, n):
+                if used[k] or a[k] != need:
+                    continue
+                used[k] = True
+                triples.append((anchor, j, k))
+                if backtrack():
+                    return True
+                triples.pop()
+                used[k] = False
+            used[j] = False
+        # Also allow a_j == rem with a third zero-element? Elements are
+        # positive in 3-Partition, so a triple always has 3 items.
+        used[anchor] = False
+        return False
+
+    return triples if backtrack() else None

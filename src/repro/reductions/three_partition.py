@@ -1,0 +1,109 @@
+"""Theorem 1 reduction: 3-Partition → Single-NoD-Bin (instance *I2*).
+
+Given a 3-Partition instance (``3m`` integers ``a_i`` with
+``B/4 < a_i < B/2`` and ``Σ a_i = mB``), instance *I2* is a binary
+caterpillar: spine nodes ``v_1 .. v_{3m-1}`` (``v_1`` the root), client
+``c_k`` with ``a_k`` requests hanging from ``v_k`` (and ``c_{3m}`` from
+``v_{3m-1}``).  With capacity ``W = B``, a placement with ``K = m``
+replicas exists iff the 3-Partition instance is a *yes*-instance:
+
+* *yes* → sort the triples by smallest client index; the ``k``-th triple
+  is served by a replica on spine node ``v_k`` (whose subtree contains
+  all clients of index ≥ k, and the k-th smallest triple-minimum is
+  ≥ k);
+* ``m`` replicas ⟹ every replica serves exactly ``B`` requests, and
+  ``B/4 < a_i < B/2`` forces exactly three clients per replica — a
+  3-Partition.
+
+The HAL scan does not include the picture of Fig. 1; this caterpillar is
+the canonical binary realisation consistent with every constraint the
+proof uses (binary arity, no distances, any triple groupable at a common
+ancestor).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..core.instance import ProblemInstance
+from ..core.placement import Placement
+from ..core.policies import Policy
+from ..core.tree import TreeBuilder
+
+__all__ = [
+    "build_i2",
+    "i2_target_replicas",
+    "placement_from_three_partition",
+    "validate_three_partition_input",
+]
+
+
+def validate_three_partition_input(a: Sequence[int], B: int) -> None:
+    """Check the 3-Partition promise ``B/4 < a_i < B/2``, ``Σ = mB``."""
+    if len(a) % 3 != 0:
+        raise ValueError("3-Partition needs a multiple of 3 integers")
+    m = len(a) // 3
+    if sum(a) != m * B:
+        raise ValueError(f"sum(a) = {sum(a)} must equal m*B = {m * B}")
+    for i, x in enumerate(a):
+        if not B / 4 < x < B / 2:
+            raise ValueError(
+                f"a[{i}] = {x} violates the 3-Partition promise "
+                f"B/4 < a_i < B/2 (B = {B})"
+            )
+
+
+def build_i2(
+    a: Sequence[int], B: int
+) -> Tuple[ProblemInstance, List[int]]:
+    """Build instance *I2* for the 3-Partition input ``(a, B)``.
+
+    Returns ``(instance, clients)`` where ``clients[k]`` is the tree node
+    holding ``a[k]`` requests.  The instance is Single-NoD-Bin with
+    ``W = B``.
+    """
+    validate_three_partition_input(a, B)
+    n3m = len(a)
+    b = TreeBuilder()
+    spine = b.add_root()
+    clients: List[int] = []
+    for k in range(n3m):
+        clients.append(b.add(spine, delta=1.0, requests=int(a[k])))
+        if k < n3m - 2:
+            spine = b.add(spine, delta=1.0)
+    tree = b.build()
+    inst = ProblemInstance(
+        tree, int(B), None, Policy.SINGLE, name=f"I2(m={n3m // 3},B={B})"
+    )
+    return inst, clients
+
+
+def i2_target_replicas(a: Sequence[int]) -> int:
+    """The decision threshold ``K = m`` of the reduction."""
+    return len(a) // 3
+
+
+def placement_from_three_partition(
+    instance: ProblemInstance,
+    clients: List[int],
+    triples: Sequence[Tuple[int, int, int]],
+) -> Placement:
+    """Map a 3-Partition solution to an ``m``-replica placement of *I2*.
+
+    ``triples`` contains index triples into ``a``.  The k-th triple
+    (sorted by smallest index) is assigned to the k-th spine node, which
+    is an ancestor of all its clients.
+    """
+    tree = instance.tree
+    ordered = sorted(tuple(sorted(t)) for t in triples)
+    # Spine nodes in root-to-leaf order are the internal nodes sorted by
+    # depth (the caterpillar has a single internal path).
+    spine = sorted(tree.internal_nodes, key=tree.depth)
+    replicas = []
+    assignments = {}
+    for k, triple in enumerate(ordered):
+        server = spine[k]
+        replicas.append(server)
+        for idx in triple:
+            assignments[(clients[idx], server)] = tree.requests(clients[idx])
+    return Placement(replicas, assignments)

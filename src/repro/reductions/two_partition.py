@@ -1,0 +1,108 @@
+"""Theorem 2 reduction: 2-Partition → Single-NoD-Bin (instance *I4*).
+
+Given integers ``a_1 .. a_m`` with ``S = Σ a_i``, instance *I4* has the
+root ``r``, a child ``n_1``, and a binary caterpillar below ``n_1``
+carrying all ``m`` clients, with ``W = S/2`` (integer division; odd ``S``
+instances are trivially *no*).  Every client has both ``r`` and ``n_1``
+as ancestors, so:
+
+* a 2-Partition ``I`` yields a 2-replica placement — clients of ``I`` on
+  ``n_1``, the rest on ``r``;
+* a 2-replica placement splits ``S`` into two loads ≤ ``S/2`` each,
+  hence exactly ``S/2``: a 2-Partition.
+
+The inapproximability argument (Theorem 2): any (3/2 − ε)-approximation
+must return exactly 2 replicas on *yes*-instances (it returns
+``< (3/2)·2 = 3``), so it would decide 2-Partition in polynomial time.
+:func:`i4_gap_decision` packages that argument: feed it the replica
+count produced by *any* algorithm claiming ratio < 3/2 and it returns
+the induced 2-Partition answer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..core.instance import ProblemInstance
+from ..core.placement import Placement
+from ..core.policies import Policy
+from ..core.tree import TreeBuilder
+
+__all__ = [
+    "build_i4",
+    "placement_from_two_partition",
+    "i4_gap_decision",
+]
+
+
+def build_i4(a: Sequence[int]) -> Tuple[ProblemInstance, List[int]]:
+    """Build instance *I4* for the 2-Partition input ``a``.
+
+    Returns ``(instance, clients)`` with ``clients[i]`` holding ``a[i]``
+    requests.  Requires ``S`` even (odd sums cannot 2-partition and make
+    ``W = S/2`` ill-defined as an integer capacity) and every
+    ``a_i ≤ S/2`` (otherwise even the *yes*-direction placement is
+    impossible and the 2-Partition answer is trivially *no*).
+    """
+    a = [int(x) for x in a]
+    if len(a) < 2:
+        raise ValueError("2-Partition needs at least two integers")
+    if any(x <= 0 for x in a):
+        raise ValueError("2-Partition requires positive integers")
+    S = sum(a)
+    if S % 2 != 0:
+        raise ValueError(
+            "odd total: the 2-Partition answer is trivially no and "
+            "W = S/2 is not integral"
+        )
+    W = S // 2
+    if max(a) > W:
+        raise ValueError(
+            "some a_i exceeds S/2: the answer is trivially no and the "
+            "instance admits no Single placement at all"
+        )
+
+    b = TreeBuilder()
+    b.add_root()  # r = node 0
+    n1 = b.add(0, delta=1.0)  # n_1 = node 1
+    clients: List[int] = []
+    spine = n1
+    for k in range(len(a)):
+        clients.append(b.add(spine, delta=1.0, requests=a[k]))
+        if k < len(a) - 2:
+            spine = b.add(spine, delta=1.0)
+    tree = b.build()
+    inst = ProblemInstance(
+        tree, W, None, Policy.SINGLE, name=f"I4(m={len(a)})"
+    )
+    return inst, clients
+
+
+def placement_from_two_partition(
+    instance: ProblemInstance,
+    clients: List[int],
+    subset: Sequence[int],
+) -> Placement:
+    """Map a 2-Partition solution to the 2-replica placement of *I4*.
+
+    ``subset`` holds indices into ``a``; those clients go to ``n_1``
+    (node 1), the others to the root ``r`` (node 0).
+    """
+    tree = instance.tree
+    inside = set(subset)
+    assignments = {}
+    for idx, c in enumerate(clients):
+        server = 1 if idx in inside else 0
+        assignments[(c, server)] = tree.requests(c)
+    return Placement([0, 1], assignments)
+
+
+def i4_gap_decision(n_replicas: int) -> bool:
+    """Theorem 2's gap argument.
+
+    Given the replica count returned on *I4* by an algorithm with
+    approximation ratio < 3/2, returns the 2-Partition answer: 2
+    replicas ⟺ *yes* (a ratio-<3/2 algorithm returns < 3 whenever the
+    optimum is 2, and the optimum is 2 exactly on *yes*-instances).
+    """
+    return n_replicas == 2

@@ -1,0 +1,23 @@
+"""Discrete-event request-serving simulator."""
+
+from .engine import SimulationResult, simulate
+from .events import EventQueue
+from .failures import RepairResult, failure_study, repair_placement
+from .metrics import ascii_histogram, latency_histogram, utilisation_table
+from .workload import Request, deterministic_trace, iter_units, poisson_trace
+
+__all__ = [
+    "EventQueue",
+    "Request",
+    "deterministic_trace",
+    "poisson_trace",
+    "iter_units",
+    "simulate",
+    "SimulationResult",
+    "RepairResult",
+    "repair_placement",
+    "failure_study",
+    "ascii_histogram",
+    "latency_histogram",
+    "utilisation_table",
+]

@@ -1,0 +1,51 @@
+"""Discrete-event kernel.
+
+A minimal, allocation-light event queue: a binary heap of
+``(time, sequence, payload)`` with a monotonically increasing sequence
+number so simultaneous events pop in insertion order (deterministic
+replays — essential for seeded experiments).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterator, Optional, Tuple
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Time-ordered event queue with deterministic tie-breaking."""
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._seq = 0
+
+    def push(self, time: float, payload: Any) -> None:
+        """Schedule ``payload`` at ``time``."""
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        heapq.heappush(self._heap, (time, self._seq, payload))
+        self._seq += 1
+
+    def pop(self) -> Tuple[float, Any]:
+        """Remove and return the earliest ``(time, payload)``."""
+        t, _seq, payload = heapq.heappop(self._heap)
+        return t, payload
+
+    def peek_time(self) -> Optional[float]:
+        """Earliest scheduled time, or ``None`` if empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def drain(self) -> Iterator[Tuple[float, Any]]:
+        """Iterate events in time order until the queue is empty."""
+        while self._heap:
+            yield self.pop()

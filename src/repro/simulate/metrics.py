@@ -1,0 +1,67 @@
+"""Terminal-friendly metrics for simulation results.
+
+ASCII histogram and utilisation summaries for
+:class:`~repro.simulate.engine.SimulationResult` — no plotting
+dependency exists offline, and for operator-style inspection a text
+histogram is sufficient.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .engine import SimulationResult
+
+__all__ = ["ascii_histogram", "latency_histogram", "utilisation_table"]
+
+
+def ascii_histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Fixed-width ASCII histogram of ``values``."""
+    if len(values) == 0:
+        return f"{title}(no data)" if title else "(no data)"
+    arr = np.asarray(values, dtype=float)
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = counts.max() or 1
+    lines: List[str] = [title] if title else []
+    for k in range(len(counts)):
+        bar = "#" * max(0, round(counts[k] / peak * width))
+        lines.append(
+            f"[{edges[k]:8.2f}, {edges[k + 1]:8.2f}) "
+            f"{counts[k]:>7} {bar}"
+        )
+    lines.append(
+        f"n={len(arr)} mean={arr.mean():.2f} p50={np.percentile(arr, 50):.2f} "
+        f"p95={np.percentile(arr, 95):.2f} max={arr.max():.2f}"
+    )
+    return "\n".join(lines)
+
+
+def latency_histogram(result: SimulationResult, bins: int = 10) -> str:
+    """Histogram of request latencies from a simulation run."""
+    return ascii_histogram(
+        result.latencies, bins=bins, title="request latency"
+    )
+
+
+def utilisation_table(result: SimulationResult, capacity: int) -> str:
+    """Per-server utilisation: mean/peak window load vs capacity."""
+    lines = [f"{'server':>8} {'mean':>8} {'peak':>6} {'util%':>7} {'overloads':>10}"]
+    overload_counts = {}
+    for s, unit in result.overloads:
+        overload_counts[s] = overload_counts.get(s, 0) + 1
+    for s in sorted(result.unit_loads):
+        loads = result.unit_loads[s]
+        mean = sum(loads) / len(loads) if loads else 0.0
+        peak = max(loads) if loads else 0
+        lines.append(
+            f"{s:>8} {mean:>8.1f} {peak:>6} {mean / capacity * 100:>6.1f}% "
+            f"{overload_counts.get(s, 0):>10}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Policy, ProblemInstance, TreeBuilder
+
+
+def build_paper_example() -> ProblemInstance:
+    """A small hand-checkable Single instance used across tests.
+
+    Topology::
+
+        n0
+        ├── n1 (1)
+        │   ├── c3 r=4 (1)
+        │   └── c4 r=3 (2)
+        └── n2 (2)
+            ├── c5 r=5 (1)
+            └── c6 r=2 (1)
+
+    W = 8, dmax = 4.
+    """
+    b = TreeBuilder()
+    n0 = b.add_root()
+    n1 = b.add(n0, delta=1.0)
+    n2 = b.add(n0, delta=2.0)
+    b.add(n1, delta=1.0, requests=4)
+    b.add(n1, delta=2.0, requests=3)
+    b.add(n2, delta=1.0, requests=5)
+    b.add(n2, delta=1.0, requests=2)
+    return ProblemInstance(b.build(), 8, 4.0, Policy.SINGLE)
+
+
+def build_theorem6_counterexample() -> ProblemInstance:
+    """The 13-node instance on which the paper's Algorithm 3 opens 6
+    replicas while 5 suffice (see EXPERIMENTS.md, finding F1)."""
+    b = TreeBuilder()
+    n0 = b.add_root()
+    n1 = b.add(n0, delta=2.0)
+    n3 = b.add(n1, delta=2.3)
+    b.add(n3, delta=2.5, requests=4)
+    b.add(n3, delta=1.8, requests=6)
+    n4 = b.add(n1, delta=1.1)
+    n5 = b.add(n4, delta=2.7)
+    b.add(n5, delta=2.3, requests=7)
+    b.add(n5, delta=1.8, requests=4)
+    b.add(n4, delta=1.4, requests=6)
+    n2 = b.add(n0, delta=2.4)
+    b.add(n2, delta=1.1, requests=6)
+    b.add(n2, delta=1.8, requests=4)
+    return ProblemInstance(b.build(), 8, 6.0, Policy.MULTIPLE)
+
+
+@pytest.fixture
+def paper_example() -> ProblemInstance:
+    return build_paper_example()
+
+
+@pytest.fixture
+def theorem6_counterexample() -> ProblemInstance:
+    return build_theorem6_counterexample()

@@ -1,0 +1,107 @@
+"""Tests for the analysis harness (repro.analysis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Policy, lower_bound
+from repro.algorithms import exact_single, multiple_bin, single_gen
+from repro.analysis import (
+    ExperimentTable,
+    RatioSample,
+    fit_power_law,
+    measure_ratios,
+    measure_scaling,
+    policy_gap,
+)
+from repro.instances import caterpillar, random_tree, single_nod_tight_instance
+
+
+class TestRatioSample:
+    def test_ratio(self):
+        s = RatioSample("x", 4, 2, True)
+        assert s.ratio == 2.0
+
+    def test_zero_reference(self):
+        assert RatioSample("x", 0, 0, True).ratio == 1.0
+        assert RatioSample("x", 3, 0, True).ratio == float("inf")
+
+
+class TestMeasureRatios:
+    def test_against_exact(self):
+        instances = [
+            random_tree(
+                3, 6, capacity=10, dmax=None, policy=Policy.SINGLE,
+                seed=s, max_arity=3,
+            )
+            for s in range(4)
+        ]
+        rep = measure_ratios(
+            instances, single_gen, lambda i: exact_single(i).n_replicas
+        )
+        assert len(rep.samples) == 4
+        assert rep.all_valid
+        assert 1.0 <= rep.mean_ratio <= rep.max_ratio
+        assert 0.0 <= rep.optimal_fraction <= 1.0
+
+    def test_table_renders(self):
+        inst, opt = single_nod_tight_instance(3)
+        rep = measure_ratios([inst], single_gen, lambda i: opt.n_replicas)
+        out = rep.table()
+        assert "ratio" in out and "mean" in out
+
+    def test_names_override(self):
+        inst, _ = single_nod_tight_instance(2)
+        rep = measure_ratios(
+            [inst], single_gen, lambda i: 1, names=["custom"]
+        )
+        assert rep.samples[0].name == "custom"
+
+
+class TestPolicyGap:
+    def test_gap_non_negative_with_exact_references(self):
+        from repro.algorithms import exact_multiple
+
+        instances = [
+            random_tree(
+                4, 5, capacity=8, dmax=4.0, policy=Policy.SINGLE,
+                seed=s, max_arity=2, request_range=(1, 8),
+            )
+            for s in range(3)
+        ]
+        rows = policy_gap(instances, exact_single, exact_multiple)
+        assert all(r["gap"] >= 0 for r in rows)
+        assert all(r["single"] >= r["multiple"] for r in rows)
+
+
+class TestScaling:
+    def test_fit_power_law_recovers_exponent(self):
+        sizes = [100, 200, 400, 800, 1600]
+        secs = [1e-6 * n**1.5 for n in sizes]
+        alpha, c = fit_power_law(sizes, secs)
+        assert alpha == pytest.approx(1.5, abs=0.01)
+        assert c == pytest.approx(1e-6, rel=0.05)
+
+    def test_measure_scaling_runs(self):
+        def make(n):
+            return caterpillar(n, capacity=10, dmax=None, seed=0)
+
+        res = measure_scaling(make, single_gen, [50, 100, 200], repeats=1)
+        assert len(res.points) == 3
+        sizes = [p.size for p in res.points]
+        assert sizes == sorted(sizes) and sizes[0] == len(make(50).tree)
+        assert "fitted" in res.table()
+
+
+class TestExperimentTable:
+    def test_render_and_verdict(self):
+        tab = ExperimentTable("E0", "demo claim")
+        tab.add("setting-a", "2", "2", True)
+        tab.add("setting-b", "3", "4", False)
+        out = tab.render()
+        assert "MISMATCH" in out
+        assert not tab.all_ok
+        tab2 = ExperimentTable("E1", "demo")
+        tab2.add("s", "1", "1", True)
+        assert "REPRODUCED" in tab2.render()

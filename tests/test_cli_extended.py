@@ -1,0 +1,89 @@
+"""Tests for the simulate/compare CLI subcommands."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.instances import dump_instance
+
+
+@pytest.fixture
+def inst_file(tmp_path, paper_example):
+    path = str(tmp_path / "inst.json")
+    dump_instance(paper_example, path)
+    return path
+
+
+@pytest.fixture
+def placement_file(tmp_path, inst_file):
+    out = str(tmp_path / "p.json")
+    assert main(["solve", inst_file, "--out", out]) == 0
+    return out
+
+
+class TestSimulateCommand:
+    def test_deterministic(self, inst_file, placement_file, capsys):
+        rc = main(["simulate", inst_file, placement_file, "--horizon", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "served" in out and "0 overloaded windows" in out
+
+    def test_poisson(self, inst_file, placement_file, capsys):
+        rc = main(
+            [
+                "simulate", inst_file, placement_file,
+                "--workload", "poisson", "--horizon", "5", "--seed", "2",
+            ]
+        )
+        assert rc == 0
+        assert "served" in capsys.readouterr().out
+
+    def test_invalid_placement_refused(self, tmp_path, inst_file, placement_file, capsys):
+        data = json.loads(open(placement_file).read())
+        data["assignments"] = data["assignments"][:-1]
+        with open(placement_file, "w") as fh:
+            json.dump(data, fh)
+        rc = main(["simulate", inst_file, placement_file])
+        assert rc == 1
+        assert "refusing" in capsys.readouterr().out
+
+
+class TestCompareCommand:
+    def test_default_set(self, inst_file, capsys):
+        rc = main(["compare", inst_file])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "single-gen" in out and "lower bound" in out
+
+    def test_explicit_algorithms(self, inst_file, capsys):
+        rc = main(
+            [
+                "compare", inst_file,
+                "--algorithms", "single-gen", "exact", "local",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "exact" in out
+
+    def test_inapplicable_algorithm_reported_not_fatal(self, inst_file, capsys):
+        # single-nod refuses distance-constrained instances; compare
+        # reports the error and keeps going.
+        rc = main(
+            ["compare", inst_file, "--algorithms", "single-nod", "single-gen"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PolicyError" in out
+        assert "single-gen" in out
+
+    def test_single_push_available(self, tmp_path, paper_example, capsys):
+        inst = paper_example.without_distance()
+        path = str(tmp_path / "nod.json")
+        dump_instance(inst, path)
+        rc = main(["compare", path, "--algorithms", "single-push", "single-nod"])
+        assert rc == 0
+        assert "single-push" in capsys.readouterr().out

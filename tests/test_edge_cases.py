@@ -1,0 +1,174 @@
+"""Cross-cutting edge cases: degenerate instances through every solver.
+
+Degenerate shapes (single node, zero demand, zero-length edges,
+dmax = 0, W = 1, duplicate demands) tend to break greedy bookkeeping;
+each case below runs every applicable solver and validates the output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Policy,
+    ProblemInstance,
+    TreeBuilder,
+    is_valid,
+    local_placement,
+    multiple_bin,
+    multiple_greedy,
+    multiple_nod_dp,
+    single_gen,
+    single_greedy_packing,
+    single_nod,
+    single_push,
+)
+from repro.algorithms import exact_multiple, exact_single
+
+SINGLE_SOLVERS = [single_gen, single_greedy_packing, local_placement, exact_single]
+SINGLE_NOD_SOLVERS = [single_nod, single_push]
+MULTIPLE_SOLVERS = [multiple_greedy, exact_multiple]
+
+
+def fan(requests, W, dmax=None, policy=Policy.SINGLE, deltas=None):
+    b = TreeBuilder()
+    r = b.add_root()
+    deltas = deltas or [1.0] * len(requests)
+    for req, d in zip(requests, deltas):
+        b.add(r, delta=d, requests=req)
+    return ProblemInstance(b.build(), W, dmax, policy)
+
+
+class TestUnitCapacity:
+    def test_w_equals_one(self):
+        inst = fan([1, 1, 1], 1)
+        for solver in SINGLE_SOLVERS:
+            p = solver(inst)
+            assert is_valid(inst, p)
+        assert exact_single(inst).n_replicas == 3
+
+    def test_w_one_multiple(self):
+        inst = fan([1, 1], 1, policy=Policy.MULTIPLE)
+        p = multiple_nod_dp(inst)
+        assert is_valid(inst, p)
+        assert p.n_replicas == 2
+
+
+class TestZeroLengthEdges:
+    def test_zero_edges_single(self):
+        inst = fan([3, 4], 10, dmax=0.0, deltas=[0.0, 0.0])
+        # dmax = 0 but edges are zero-length: the root can serve both.
+        p = single_gen(inst)
+        assert is_valid(inst, p)
+        assert p.n_replicas == 1
+
+    def test_zero_edges_multiple_bin(self):
+        inst = fan([3, 4], 10, dmax=0.0, deltas=[0.0, 0.0]).with_policy(
+            Policy.MULTIPLE
+        )
+        p = multiple_bin(inst)
+        assert is_valid(inst, p)
+        assert p.n_replicas == 1
+
+
+class TestDmaxZeroPositiveEdges:
+    def test_everyone_self_serves(self):
+        inst = fan([3, 4, 2], 10, dmax=0.0)
+        p = single_gen(inst)
+        assert is_valid(inst, p)
+        assert p.n_replicas == 3
+        assert exact_single(inst).n_replicas == 3
+
+    def test_multiple_same(self):
+        inst = fan([3, 4], 10, dmax=0.0, policy=Policy.MULTIPLE)
+        p = multiple_greedy(inst)
+        assert is_valid(inst, p)
+        assert p.n_replicas == 2
+
+
+class TestZeroDemandEverywhere:
+    @pytest.mark.parametrize(
+        "solver",
+        SINGLE_SOLVERS + MULTIPLE_SOLVERS + [multiple_bin, multiple_nod_dp],
+    )
+    def test_empty_placement(self, solver):
+        b = TreeBuilder()
+        r = b.add_root()
+        n = b.add(r, delta=1.0)
+        b.add(n, delta=1.0, requests=0)
+        b.add(n, delta=1.0, requests=0)
+        policy = (
+            Policy.MULTIPLE
+            if solver in (multiple_greedy, exact_multiple, multiple_bin, multiple_nod_dp)
+            else Policy.SINGLE
+        )
+        inst = ProblemInstance(b.build(), 5, None, policy)
+        p = solver(inst)
+        assert p.n_replicas == 0
+        assert is_valid(inst, p)
+
+
+class TestMixedZeroAndPositive:
+    def test_zero_demand_clients_ignored(self):
+        inst = fan([0, 5, 0, 3], 10)
+        for solver in SINGLE_SOLVERS + SINGLE_NOD_SOLVERS:
+            p = solver(inst)
+            assert is_valid(inst, p)
+            # Zero-demand clients never appear in assignments.
+            for a in p.iter_assignments():
+                assert inst.tree.requests(a.client) > 0
+
+
+class TestExactCapacityFits:
+    def test_demand_exactly_w(self):
+        inst = fan([4, 6], 10)
+        assert exact_single(inst).n_replicas == 1
+        p = single_gen(inst)
+        assert is_valid(inst, p) and p.n_replicas == 1
+
+    def test_each_client_exactly_w(self):
+        inst = fan([10, 10, 10], 10)
+        assert exact_single(inst).n_replicas == 3
+
+
+class TestDuplicateDemands:
+    def test_many_equal_items(self):
+        inst = fan([5] * 8, 10)
+        p = exact_single(inst)
+        # Star: only the root is shared: root takes 2, six self-serve.
+        assert p.n_replicas == 7
+        for solver in SINGLE_SOLVERS:
+            assert is_valid(inst, solver(inst))
+
+
+class TestDeepUnaryChain:
+    def test_all_solvers_on_chain(self):
+        b = TreeBuilder()
+        node = b.add_root()
+        for _ in range(30):
+            node = b.add(node, delta=1.0)
+        b.add(node, delta=1.0, requests=7)
+        for policy, solvers in (
+            (Policy.SINGLE, [single_gen, exact_single]),
+            (Policy.MULTIPLE, [multiple_greedy, multiple_bin, exact_multiple]),
+        ):
+            inst = ProblemInstance(b.build(), 10, 5.0, policy)
+            for solver in solvers:
+                p = solver(inst)
+                assert is_valid(inst, p)
+                assert p.n_replicas == 1
+
+
+class TestLargeDemandSmallTreeMultiple:
+    def test_dp_uses_whole_path(self):
+        # Demand = exact path capacity: every path node must host.
+        b = TreeBuilder()
+        r = b.add_root()
+        n1 = b.add(r, delta=1.0)
+        n2 = b.add(n1, delta=1.0)
+        b.add(n2, delta=1.0, requests=20)  # path: client,n2,n1,r = 4x5
+        inst = ProblemInstance(b.build(), 5, None, Policy.MULTIPLE)
+        p = multiple_nod_dp(inst)
+        assert is_valid(inst, p)
+        assert p.n_replicas == 4
+        assert exact_multiple(inst).n_replicas == 4

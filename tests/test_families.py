@@ -1,0 +1,104 @@
+"""Tests for the structured instance families (repro.instances.families)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Policy, is_valid
+from repro.algorithms import single_gen
+from repro.instances import binomial, cdn_hierarchy, full_kary, zipf_demands
+
+
+class TestZipfDemands:
+    def test_bounds_and_determinism(self):
+        d = zipf_demands(100, 50, seed=4)
+        assert d.min() >= 1 and d.max() <= 50
+        assert (d == zipf_demands(100, 50, seed=4)).all()
+
+    def test_skewed(self):
+        d = zipf_demands(500, 1000, alpha=1.3, seed=1)
+        # Zipf: the median should sit far below the max.
+        import numpy as np
+
+        assert np.median(d) < d.max() / 4
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            zipf_demands(0, 10)
+        with pytest.raises(ValueError):
+            zipf_demands(5, 10, alpha=1.0)
+
+
+class TestFullKary:
+    def test_counts(self):
+        inst = full_kary(3, 2, capacity=10, seed=0)
+        t = inst.tree
+        # internal: 1 + 3 = 4; clients: 9.
+        assert len(t.internal_nodes) == 4
+        assert len(t.clients) == 9
+        assert t.arity == 3
+
+    def test_depth_one_is_star(self):
+        inst = full_kary(4, 1, capacity=10, seed=0)
+        assert len(inst.tree.internal_nodes) == 1
+        assert len(inst.tree.clients) == 4
+
+    def test_solvable(self):
+        inst = full_kary(2, 4, capacity=20, dmax=5.0, seed=1)
+        assert is_valid(inst, single_gen(inst))
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            full_kary(1, 2, capacity=5)
+        with pytest.raises(ValueError):
+            full_kary(2, 0, capacity=5)
+
+
+class TestBinomial:
+    @pytest.mark.parametrize("order", [1, 2, 3, 4, 5])
+    def test_skeleton_size(self, order):
+        inst = binomial(order, capacity=10, seed=0)
+        t = inst.tree
+        # B_k skeleton has 2^k nodes; each childless one got a client.
+        assert len(t.internal_nodes) + len(t.clients) == len(t)
+        skeleton = len(t) - len(t.clients)
+        assert skeleton == 2 ** order
+
+    def test_root_degree(self):
+        inst = binomial(4, capacity=10, seed=0)
+        t = inst.tree
+        assert len(t.children(t.root)) == 4
+
+    def test_large_order_no_recursion(self):
+        inst = binomial(12, capacity=10, seed=0)  # 4096 skeleton nodes
+        assert is_valid(inst, single_gen(inst))
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            binomial(0, capacity=5)
+
+
+class TestCdnHierarchy:
+    def test_structure(self):
+        inst = cdn_hierarchy(2, 3, 4, capacity=100, seed=5)
+        t = inst.tree
+        assert len(t.clients) == 2 * 3 * 4
+        assert len(t.internal_nodes) == 1 + 2 + 6
+
+    def test_demand_capped(self):
+        inst = cdn_hierarchy(capacity=200, seed=2)
+        assert inst.tree.max_request <= 200
+
+    def test_policy_passthrough(self):
+        inst = cdn_hierarchy(capacity=100, policy=Policy.MULTIPLE, dmax=8.0)
+        assert inst.policy is Policy.MULTIPLE
+        assert inst.dmax == 8.0
+
+    def test_solvable_under_sla(self):
+        inst = cdn_hierarchy(capacity=300, dmax=9.0, seed=3)
+        p = single_gen(inst)
+        assert is_valid(inst, p)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            cdn_hierarchy(0, 1, 1, capacity=10)

@@ -1,0 +1,129 @@
+"""Unit tests for the max-flow substrate (repro.flow)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flow import FlowNetwork, max_flow
+
+
+class TestFlowNetwork:
+    def test_add_edge_returns_even_ids(self):
+        g = FlowNetwork(3)
+        assert g.add_edge(0, 1, 5) == 0
+        assert g.add_edge(1, 2, 3) == 2
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            FlowNetwork(0)
+        g = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, -1)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 5, 1)
+
+    def test_reset(self):
+        g = FlowNetwork(2)
+        e = g.add_edge(0, 1, 4)
+        assert max_flow(g, 0, 1) == 4
+        assert g.flow_on(e) == 4
+        g.reset()
+        assert g.flow_on(e) == 0
+        assert max_flow(g, 0, 1) == 4
+
+
+class TestMaxFlow:
+    def test_single_edge(self):
+        g = FlowNetwork(2)
+        g.add_edge(0, 1, 7)
+        assert max_flow(g, 0, 1) == 7
+
+    def test_series_bottleneck(self):
+        g = FlowNetwork(3)
+        g.add_edge(0, 1, 7)
+        g.add_edge(1, 2, 3)
+        assert max_flow(g, 0, 2) == 3
+
+    def test_parallel_paths(self):
+        g = FlowNetwork(4)
+        g.add_edge(0, 1, 2)
+        g.add_edge(0, 2, 3)
+        g.add_edge(1, 3, 2)
+        g.add_edge(2, 3, 3)
+        assert max_flow(g, 0, 3) == 5
+
+    def test_classic_augmenting_cross_edge(self):
+        # The textbook example where a naive greedy needs the residual
+        # back edge through the middle.
+        g = FlowNetwork(4)
+        g.add_edge(0, 1, 1)
+        g.add_edge(0, 2, 1)
+        g.add_edge(1, 2, 1)
+        g.add_edge(1, 3, 1)
+        g.add_edge(2, 3, 1)
+        assert max_flow(g, 0, 3) == 2
+
+    def test_disconnected(self):
+        g = FlowNetwork(4)
+        g.add_edge(0, 1, 5)
+        g.add_edge(2, 3, 5)
+        assert max_flow(g, 0, 3) == 0
+
+    def test_source_equals_sink_rejected(self):
+        g = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            max_flow(g, 0, 0)
+
+    def test_zero_capacity_edges(self):
+        g = FlowNetwork(3)
+        g.add_edge(0, 1, 0)
+        g.add_edge(1, 2, 5)
+        assert max_flow(g, 0, 2) == 0
+
+    def test_flow_conservation(self):
+        rng = np.random.default_rng(7)
+        n = 10
+        g = FlowNetwork(n)
+        arcs = []
+        for _ in range(40):
+            u, v = rng.integers(0, n, size=2)
+            if u != v:
+                cap = int(rng.integers(1, 10))
+                arcs.append((g.add_edge(int(u), int(v), cap), int(u), int(v), cap))
+        total = max_flow(g, 0, n - 1)
+        net = [0] * n
+        for eid, u, v, cap in arcs:
+            f = g.flow_on(eid)
+            assert 0 <= f <= cap
+            net[u] -= f
+            net[v] += f
+        assert net[0] == -total
+        assert net[n - 1] == total
+        for v in range(1, n - 1):
+            assert net[v] == 0
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_networks_match_scipy(self, seed):
+        scipy_sparse = pytest.importorskip("scipy.sparse")
+        from scipy.sparse.csgraph import maximum_flow
+
+        rng = np.random.default_rng(seed)
+        n = 12
+        dense = np.zeros((n, n), dtype=np.int32)
+        for _ in range(50):
+            u, v = rng.integers(0, n, size=2)
+            if u != v:
+                dense[u, v] += int(rng.integers(1, 12))
+        g = FlowNetwork(n)
+        for u in range(n):
+            for v in range(n):
+                if dense[u, v]:
+                    g.add_edge(u, v, int(dense[u, v]))
+        ours = max_flow(g, 0, n - 1)
+        theirs = maximum_flow(
+            scipy_sparse.csr_matrix(dense), 0, n - 1
+        ).flow_value
+        assert ours == theirs

@@ -1,0 +1,114 @@
+"""Tests for instance generators (repro.instances.generators)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Policy
+from repro.instances import broom, caterpillar, random_binary_tree, random_tree, star
+
+
+class TestRandomTree:
+    def test_determinism(self):
+        a = random_tree(8, 16, capacity=20, seed=42)
+        b = random_tree(8, 16, capacity=20, seed=42)
+        assert a.tree == b.tree
+
+    def test_different_seeds_differ(self):
+        a = random_tree(8, 16, capacity=20, seed=1)
+        b = random_tree(8, 16, capacity=20, seed=2)
+        assert a.tree != b.tree
+
+    def test_counts(self):
+        inst = random_tree(8, 16, capacity=20, seed=0)
+        t = inst.tree
+        assert len(t.internal_nodes) == 8
+        assert len(t.clients) == 16
+
+    def test_arity_respected(self):
+        for seed in range(5):
+            inst = random_tree(10, 20, capacity=20, max_arity=3, seed=seed)
+            assert inst.tree.arity <= 3
+
+    def test_requests_bounded_by_capacity(self):
+        inst = random_tree(5, 30, capacity=9, max_arity=8, seed=3)
+        assert inst.tree.max_request <= 9
+        assert inst.tree.total_requests > 0
+
+    def test_request_range(self):
+        inst = random_tree(
+            5, 20, capacity=100, max_arity=6, request_range=(5, 7), seed=1
+        )
+        t = inst.tree
+        for c in t.clients:
+            assert 5 <= t.requests(c) <= 7
+
+    def test_delta_range(self):
+        inst = random_tree(
+            5, 10, capacity=10, max_arity=4, delta_range=(2.0, 2.0), seed=0
+        )
+        t = inst.tree
+        for v in range(1, len(t)):
+            assert t.delta(v) == pytest.approx(2.0)
+
+    def test_too_few_clients_rejected(self):
+        with pytest.raises(ValueError):
+            random_tree(10, 1, capacity=5, max_arity=2, seed=0)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            random_tree(0, 5, capacity=5)
+        with pytest.raises(ValueError):
+            random_tree(3, 0, capacity=5)
+        with pytest.raises(ValueError):
+            random_tree(3, 5, capacity=5, max_arity=1)
+
+    def test_policy_and_dmax_pass_through(self):
+        inst = random_tree(
+            3, 5, capacity=5, dmax=4.0, policy=Policy.MULTIPLE, seed=0
+        )
+        assert inst.policy is Policy.MULTIPLE
+        assert inst.dmax == 4.0
+
+
+class TestRandomBinaryTree:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_binary(self, seed):
+        inst = random_binary_tree(7, 8, capacity=10, seed=seed)
+        assert inst.tree.is_binary
+
+    def test_default_policy_multiple(self):
+        inst = random_binary_tree(4, 5, capacity=10, seed=0)
+        assert inst.policy is Policy.MULTIPLE
+
+
+class TestShapes:
+    def test_caterpillar_structure(self):
+        inst = caterpillar(10, capacity=5, seed=0)
+        t = inst.tree
+        assert len(t.clients) == 10
+        assert len(t.internal_nodes) == 10
+        assert t.is_binary
+        # Depth grows linearly.
+        assert max(t.depth(c) for c in t.clients) >= 9
+
+    def test_broom_structure(self):
+        inst = broom(5, 8, capacity=10, seed=0)
+        t = inst.tree
+        assert len(t.clients) == 8
+        assert len(t.internal_nodes) == 5
+        # All clients share the deepest spine node as parent.
+        parents = {t.parent(c) for c in t.clients}
+        assert len(parents) == 1
+
+    def test_star_structure(self):
+        inst = star(6, capacity=10, seed=0)
+        t = inst.tree
+        assert len(t.internal_nodes) == 1
+        assert len(t.clients) == 6
+
+    def test_bad_lengths(self):
+        with pytest.raises(ValueError):
+            caterpillar(0, capacity=5)
+        with pytest.raises(ValueError):
+            broom(0, 3, capacity=5)

@@ -1,0 +1,145 @@
+"""Tests for the general-graph front end (repro.graphs)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import InvalidInstanceError, Policy, is_valid
+from repro.algorithms import single_gen
+from repro.graphs import WeightedGraph, dijkstra, extract_spanning_instance
+
+
+def ring(n: int, w: float = 1.0) -> WeightedGraph:
+    g = WeightedGraph(n)
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n, w)
+    return g
+
+
+class TestWeightedGraph:
+    def test_edges(self):
+        g = WeightedGraph(3)
+        g.add_edge(0, 1, 2.0)
+        assert g.n_edges == 1
+        assert (1, 2.0) in g.neighbors(0)
+        assert (0, 2.0) in g.neighbors(1)
+
+    def test_rejects_bad_edges(self):
+        g = WeightedGraph(3)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 0, 1.0)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 5, 1.0)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, -1.0)
+        with pytest.raises(ValueError):
+            WeightedGraph(0)
+
+    def test_from_edges(self):
+        g = WeightedGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 2.0)])
+        assert g.n_edges == 2
+
+
+class TestDijkstra:
+    def test_ring_distances(self):
+        dist, parent = dijkstra(ring(6), 0)
+        assert dist == [0.0, 1.0, 2.0, 3.0, 2.0, 1.0]
+        assert parent[0] == -1
+
+    def test_unreachable(self):
+        g = WeightedGraph(4)
+        g.add_edge(0, 1, 1.0)
+        dist, parent = dijkstra(g, 0)
+        assert math.isinf(dist[3]) and parent[3] == -1
+
+    def test_prefers_shorter_multi_hop(self):
+        g = WeightedGraph(3)
+        g.add_edge(0, 2, 10.0)
+        g.add_edge(0, 1, 2.0)
+        g.add_edge(1, 2, 3.0)
+        dist, parent = dijkstra(g, 0)
+        assert dist[2] == 5.0 and parent[2] == 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_against_networkx(self, seed):
+        nx = pytest.importorskip("networkx")
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = 15
+        g = WeightedGraph(n)
+        G = nx.Graph()
+        G.add_nodes_from(range(n))
+        for _ in range(35):
+            u, v = rng.integers(0, n, size=2)
+            if u == v or G.has_edge(int(u), int(v)):
+                continue
+            w = float(rng.uniform(0.5, 5.0))
+            g.add_edge(int(u), int(v), w)
+            G.add_edge(int(u), int(v), weight=w)
+        dist, _ = dijkstra(g, 0)
+        ref = nx.single_source_dijkstra_path_length(G, 0)
+        for v in range(n):
+            if v in ref:
+                assert dist[v] == pytest.approx(ref[v])
+            else:
+                assert math.isinf(dist[v])
+
+
+class TestSpanningExtraction:
+    def test_distances_preserved(self):
+        g = ring(6)
+        inst, client_of = extract_spanning_instance(
+            g, 0, {3: 5}, capacity=10, dmax=4.0
+        )
+        t = inst.tree
+        c = client_of[3]
+        # Tree distance from the client to the root == graph distance.
+        assert t.distance_to_ancestor(c, t.root) == pytest.approx(3.0)
+
+    def test_internal_demand_gets_stub(self):
+        # Vertex 1 is on the shortest path 0-1-2 and also demands.
+        g = WeightedGraph(3)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 1.0)
+        inst, client_of = extract_spanning_instance(
+            g, 0, {1: 4, 2: 2}, capacity=10
+        )
+        t = inst.tree
+        stub = client_of[1]
+        assert t.is_leaf(stub)
+        assert t.delta(stub) == 0.0
+        assert t.requests(stub) == 4
+
+    def test_unreachable_demand_rejected(self):
+        g = WeightedGraph(4)
+        g.add_edge(0, 1, 1.0)
+        with pytest.raises(InvalidInstanceError):
+            extract_spanning_instance(g, 0, {3: 2}, capacity=5)
+
+    def test_unreachable_zero_demand_dropped(self):
+        g = WeightedGraph(4)
+        g.add_edge(0, 1, 1.0)
+        inst, _ = extract_spanning_instance(g, 0, {1: 2}, capacity=5)
+        assert len(inst.tree) == 2
+
+    def test_end_to_end_solve(self):
+        # A small mesh: extract the SPT and place replicas on it.
+        g = WeightedGraph(8)
+        edges = [
+            (0, 1, 1.0), (0, 2, 2.0), (1, 3, 1.0), (1, 4, 2.0),
+            (2, 5, 1.0), (3, 6, 1.0), (4, 7, 1.0), (5, 7, 2.0),
+            (6, 7, 5.0), (2, 4, 0.5),
+        ]
+        for u, v, w in edges:
+            g.add_edge(u, v, w)
+        demands = {3: 4, 5: 3, 6: 2, 7: 5}
+        inst, client_of = extract_spanning_instance(
+            g, 0, demands, capacity=8, dmax=6.0, policy=Policy.SINGLE
+        )
+        p = single_gen(inst)
+        assert is_valid(inst, p)
+        served = sum(p.served_amount(client_of[v]) for v in demands)
+        assert served == sum(demands.values())

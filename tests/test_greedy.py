@@ -1,0 +1,123 @@
+"""Tests for the baseline heuristics (repro.algorithms.greedy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    InfeasibleInstanceError,
+    Policy,
+    ProblemInstance,
+    TreeBuilder,
+    is_valid,
+    local_placement,
+    multiple_greedy,
+    single_greedy_packing,
+)
+from repro.algorithms import exact_multiple, multiple_bin
+from repro.instances import random_binary_tree, random_tree
+
+
+class TestLocalPlacement:
+    def test_every_client_self_serves(self, paper_example):
+        p = local_placement(paper_example)
+        assert is_valid(paper_example, p)
+        t = paper_example.tree
+        demanding = [c for c in t.clients if t.requests(c) > 0]
+        assert p.replicas == frozenset(demanding)
+        for c in demanding:
+            assert p.servers_of(c) == [c]
+
+    def test_zero_demand_clients_skipped(self):
+        b = TreeBuilder()
+        r = b.add_root()
+        b.add(r, delta=1.0, requests=0)
+        b.add(r, delta=1.0, requests=3)
+        inst = ProblemInstance(b.build(), 5, 1.0, Policy.SINGLE)
+        assert local_placement(inst).n_replicas == 1
+
+    def test_oversized_client_raises(self):
+        b = TreeBuilder()
+        r = b.add_root()
+        b.add(r, delta=1.0, requests=9)
+        inst = ProblemInstance(b.build(), 5, None, Policy.SINGLE)
+        with pytest.raises(InfeasibleInstanceError):
+            local_placement(inst)
+
+    def test_valid_under_any_dmax(self):
+        # Self-serving is distance 0, valid even with dmax = 0.
+        b = TreeBuilder()
+        r = b.add_root()
+        b.add(r, delta=7.0, requests=3)
+        inst = ProblemInstance(b.build(), 5, 0.0, Policy.SINGLE)
+        assert is_valid(inst, local_placement(inst))
+
+
+class TestSingleGreedyPacking:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_always_valid(self, seed):
+        inst = random_tree(
+            5, 10, capacity=12, dmax=5.0 if seed % 2 else None,
+            policy=Policy.SINGLE, seed=seed, max_arity=4,
+        )
+        assert is_valid(inst, single_greedy_packing(inst))
+
+    def test_consolidates_trivial_case(self):
+        b = TreeBuilder()
+        r = b.add_root()
+        for req in (2, 3):
+            b.add(r, delta=1.0, requests=req)
+        inst = ProblemInstance(b.build(), 10, None, Policy.SINGLE)
+        p = single_greedy_packing(inst)
+        assert p.n_replicas == 1
+        assert p.replicas == frozenset({r})
+
+    def test_never_better_than_exact(self):
+        from repro.algorithms import exact_single
+
+        for seed in range(5):
+            inst = random_tree(
+                4, 7, capacity=10, dmax=None, policy=Policy.SINGLE,
+                seed=seed, max_arity=3,
+            )
+            assert (
+                single_greedy_packing(inst).n_replicas
+                >= exact_single(inst).n_replicas
+            )
+
+
+class TestMultipleGreedy:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_always_valid_any_arity(self, seed):
+        inst = random_tree(
+            5, 10, capacity=12, dmax=5.0 if seed % 2 else None,
+            policy=Policy.MULTIPLE, seed=seed, max_arity=4,
+        )
+        assert is_valid(inst, multiple_greedy(inst))
+
+    def test_oversized_client_rejected(self):
+        b = TreeBuilder()
+        r = b.add_root()
+        b.add(r, delta=1.0, requests=9)
+        inst = ProblemInstance(b.build(), 5, None, Policy.MULTIPLE)
+        with pytest.raises(InfeasibleInstanceError):
+            multiple_greedy(inst)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_ablation_never_better_than_multiple_bin_exact(self, seed):
+        # multiple_greedy lacks extra-server; it can only match or lose
+        # against the exact optimum (measured in bench E6-ablation).
+        inst = random_binary_tree(
+            4, 5, capacity=8, dmax=4.0, policy=Policy.MULTIPLE,
+            seed=seed, request_range=(1, 8),
+        )
+        g = multiple_greedy(inst)
+        assert is_valid(inst, g)
+        assert g.n_replicas >= exact_multiple(inst).n_replicas
+
+    def test_matches_multiple_bin_on_easy_binary(self):
+        inst = random_binary_tree(
+            5, 6, capacity=10, dmax=None, policy=Policy.MULTIPLE,
+            seed=3, request_range=(1, 10),
+        )
+        assert multiple_greedy(inst).n_replicas >= multiple_bin(inst).n_replicas

@@ -1,0 +1,87 @@
+"""Tests for serialization (repro.instances.io)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import InvalidInstanceError, Placement, Policy
+from repro.algorithms import single_gen
+from repro.instances import (
+    dump_instance,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    placement_from_dict,
+    placement_to_dict,
+    random_tree,
+    to_dot,
+)
+
+
+class TestInstanceRoundTrip:
+    def test_round_trip(self, paper_example):
+        data = instance_to_dict(paper_example)
+        back = instance_from_dict(data)
+        assert back.tree == paper_example.tree
+        assert back.capacity == paper_example.capacity
+        assert back.dmax == paper_example.dmax
+        assert back.policy is paper_example.policy
+
+    def test_round_trip_nod(self, paper_example):
+        inst = paper_example.without_distance()
+        back = instance_from_dict(instance_to_dict(inst))
+        assert back.dmax is None
+
+    def test_json_serialisable(self, paper_example):
+        # inf deltas are mapped to null: plain json must accept it.
+        s = json.dumps(instance_to_dict(paper_example))
+        assert "Infinity" not in s
+
+    def test_file_round_trip(self, tmp_path, paper_example):
+        path = str(tmp_path / "inst.json")
+        dump_instance(paper_example, path)
+        assert load_instance(path).tree == paper_example.tree
+
+    def test_bad_schema_rejected(self, paper_example):
+        data = instance_to_dict(paper_example)
+        data["schema"] = 999
+        with pytest.raises(InvalidInstanceError):
+            instance_from_dict(data)
+
+    def test_policy_round_trip(self, paper_example):
+        inst = paper_example.with_policy(Policy.MULTIPLE)
+        back = instance_from_dict(instance_to_dict(inst))
+        assert back.policy is Policy.MULTIPLE
+
+    def test_random_instance_round_trip(self):
+        inst = random_tree(6, 12, capacity=15, dmax=5.5, seed=9)
+        back = instance_from_dict(instance_to_dict(inst))
+        assert back.tree == inst.tree
+
+
+class TestPlacementRoundTrip:
+    def test_round_trip(self, paper_example):
+        p = single_gen(paper_example)
+        back = placement_from_dict(placement_to_dict(p))
+        assert back == p
+
+    def test_empty(self):
+        p = Placement([], {})
+        assert placement_from_dict(placement_to_dict(p)) == p
+
+
+class TestDot:
+    def test_contains_all_nodes_and_edges(self, paper_example):
+        dot = to_dot(paper_example)
+        assert dot.startswith("digraph")
+        t = paper_example.tree
+        for v in range(len(t)):
+            assert f"\n  {v} [" in dot
+        assert dot.count("->") == len(t) - 1
+
+    def test_replicas_double_circled(self, paper_example):
+        p = single_gen(paper_example)
+        dot = to_dot(paper_example, p)
+        assert "peripheries=2" in dot

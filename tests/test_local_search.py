@@ -1,0 +1,55 @@
+"""Tests for local-search improvement (repro.algorithms.local_search)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Policy,
+    improve_single,
+    is_valid,
+    local_placement,
+    single_gen,
+)
+from repro.algorithms import exact_single
+from repro.instances import random_tree
+
+
+class TestImproveSingle:
+    def test_improves_all_local_baseline(self, paper_example):
+        base = local_placement(paper_example)
+        better = improve_single(paper_example, base)
+        assert is_valid(paper_example, better)
+        assert better.n_replicas <= base.n_replicas
+        # 4 self-serving clients consolidate: at most 2 needed here.
+        assert better.n_replicas <= 2
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_never_invalid_never_worse(self, seed):
+        inst = random_tree(
+            5, 10, capacity=15, dmax=6.0 if seed % 2 else None,
+            policy=Policy.SINGLE, seed=seed, max_arity=4,
+        )
+        base = single_gen(inst)
+        out = improve_single(inst, base)
+        assert is_valid(inst, out)
+        assert out.n_replicas <= base.n_replicas
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_never_beats_exact(self, seed):
+        inst = random_tree(
+            4, 7, capacity=10, dmax=None, policy=Policy.SINGLE,
+            seed=seed, max_arity=3,
+        )
+        out = improve_single(inst, local_placement(inst))
+        assert out.n_replicas >= exact_single(inst).n_replicas
+
+    def test_fixed_point_stability(self, paper_example):
+        once = improve_single(paper_example, local_placement(paper_example))
+        twice = improve_single(paper_example, once)
+        assert twice.n_replicas == once.n_replicas
+
+    def test_max_rounds_zero_is_identity_count(self, paper_example):
+        base = local_placement(paper_example)
+        out = improve_single(paper_example, base, max_rounds=0)
+        assert out.n_replicas == base.n_replicas

@@ -1,0 +1,56 @@
+"""Tests for simulation metrics rendering (repro.simulate.metrics)."""
+
+from __future__ import annotations
+
+from repro.algorithms import single_gen
+from repro.simulate import deterministic_trace, simulate
+from repro.simulate.metrics import (
+    ascii_histogram,
+    latency_histogram,
+    utilisation_table,
+)
+
+
+class TestAsciiHistogram:
+    def test_empty(self):
+        assert "no data" in ascii_histogram([])
+
+    def test_counts_sum(self):
+        out = ascii_histogram([1, 1, 2, 3, 3, 3], bins=3)
+        assert "n=6" in out
+        # three bins plus the summary line
+        assert len(out.splitlines()) == 4
+
+    def test_title(self):
+        out = ascii_histogram([1.0], title="demo")
+        assert out.splitlines()[0] == "demo"
+
+    def test_summary_stats(self):
+        out = ascii_histogram([0.0, 10.0])
+        assert "mean=5.00" in out and "max=10.00" in out
+
+
+class TestSimulationMetrics:
+    def _result(self, paper_example):
+        p = single_gen(paper_example)
+        trace = deterministic_trace(paper_example.tree, horizon=3)
+        return p, simulate(paper_example, p, trace, horizon=3)
+
+    def test_latency_histogram(self, paper_example):
+        _p, res = self._result(paper_example)
+        out = latency_histogram(res)
+        assert "request latency" in out
+        assert f"n={res.served}" in out
+
+    def test_utilisation_table(self, paper_example):
+        p, res = self._result(paper_example)
+        out = utilisation_table(res, paper_example.capacity)
+        for s in sorted(p.replicas):
+            assert f"\n{s:>8} " in "\n" + out
+        assert "util%" in out
+
+    def test_no_overloads_reported(self, paper_example):
+        _p, res = self._result(paper_example)
+        out = utilisation_table(res, paper_example.capacity)
+        # deterministic trace of a valid placement: zero overloads.
+        assert all(line.rstrip().endswith("0") for line in out.splitlines()[1:])

@@ -1,0 +1,199 @@
+"""Tests for Algorithm 3 — multiple-bin (Theorem 6).
+
+Includes the regression test for reproduction finding F1 (see
+EXPERIMENTS.md): a 13-node instance on which the paper's algorithm, as
+literally specified, opens one more replica than the optimum — the
+proof's cross-branch monotonicity claim does not hold there.  The test
+pins both values so any change to our implementation that silently
+alters the behaviour is caught.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    InvalidInstanceError,
+    NotBinaryTreeError,
+    Policy,
+    ProblemInstance,
+    TreeBuilder,
+    is_valid,
+    multiple_bin,
+)
+from repro.algorithms import exact_multiple
+from repro.instances import caterpillar, random_binary_tree
+
+
+class TestPreconditions:
+    def test_rejects_wide_tree(self):
+        b = TreeBuilder()
+        r = b.add_root()
+        for _ in range(3):
+            b.add(r, delta=1.0, requests=1)
+        inst = ProblemInstance(b.build(), 5, 2.0, Policy.MULTIPLE)
+        with pytest.raises(NotBinaryTreeError):
+            multiple_bin(inst)
+
+    def test_rejects_oversized_client(self):
+        # Theorem 5: the problem is NP-hard when r_i > W, so the
+        # algorithm refuses rather than silently mis-solving.
+        b = TreeBuilder()
+        r = b.add_root()
+        b.add(r, delta=1.0, requests=9)
+        inst = ProblemInstance(b.build(), 5, 2.0, Policy.MULTIPLE)
+        with pytest.raises(InvalidInstanceError):
+            multiple_bin(inst)
+
+
+class TestBasicBehaviour:
+    def test_valid_on_binary_example(self, paper_example):
+        inst = paper_example.with_policy(Policy.MULTIPLE)
+        p = multiple_bin(inst)
+        assert is_valid(inst, p)
+
+    def test_consolidates_when_everything_fits(self):
+        b = TreeBuilder()
+        r = b.add_root()
+        n = b.add(r, delta=1.0)
+        b.add(n, delta=1.0, requests=2)
+        b.add(n, delta=1.0, requests=3)
+        inst = ProblemInstance(b.build(), 10, 5.0, Policy.MULTIPLE)
+        p = multiple_bin(inst)
+        assert p.replicas == frozenset({r})
+
+    def test_pinned_leaf_serves_itself(self):
+        b = TreeBuilder()
+        r = b.add_root()
+        c = b.add(r, delta=9.0, requests=4)
+        inst = ProblemInstance(b.build(), 10, 5.0, Policy.MULTIPLE)
+        p = multiple_bin(inst)
+        assert p.replicas == frozenset({c})
+
+    def test_split_occurs_on_overflow(self):
+        # Two clients of 6 with W=8: one server absorbs 8 (splitting a
+        # client), the root takes the remaining 4.
+        b = TreeBuilder()
+        r = b.add_root()
+        n = b.add(r, delta=1.0)
+        c1 = b.add(n, delta=1.0, requests=6)
+        c2 = b.add(n, delta=1.0, requests=6)
+        inst = ProblemInstance(b.build(), 8, None, Policy.MULTIPLE)
+        p = multiple_bin(inst)
+        assert is_valid(inst, p)
+        assert p.n_replicas == 2
+        split_clients = [c for c in (c1, c2) if len(p.servers_of(c)) > 1]
+        assert len(split_clients) == 1
+
+    def test_zero_demand(self):
+        b = TreeBuilder()
+        r = b.add_root()
+        b.add(r, delta=1.0, requests=0)
+        inst = ProblemInstance(b.build(), 10, 5.0, Policy.MULTIPLE)
+        assert multiple_bin(inst).n_replicas == 0
+
+    def test_root_is_client(self):
+        b = TreeBuilder()
+        b.add_root()
+        tree = b.build().with_requests([7])
+        inst = ProblemInstance(tree, 10, 5.0, Policy.MULTIPLE)
+        p = multiple_bin(inst)
+        assert p.replicas == frozenset({0})
+
+    def test_one_child_nodes_handled(self):
+        # Unary spine segments are legal in binary trees.
+        b = TreeBuilder()
+        r = b.add_root()
+        n1 = b.add(r, delta=1.0)
+        n2 = b.add(n1, delta=1.0)
+        b.add(n2, delta=1.0, requests=5)
+        inst = ProblemInstance(b.build(), 10, 10.0, Policy.MULTIPLE)
+        p = multiple_bin(inst)
+        assert is_valid(inst, p)
+        assert p.n_replicas == 1
+
+
+class TestExtraServer:
+    def test_extra_server_reassigns_down_right_spine(self):
+        # Force: a node absorbs W but the remainder is still pinned.
+        # lchild leaf 6 (loose), rchild leaf 6 (pinned to within n).
+        b = TreeBuilder()
+        r = b.add_root()
+        n = b.add(r, delta=10.0)  # nothing escapes n (dmax=5)
+        l = b.add(n, delta=1.0, requests=6)
+        rr = b.add(n, delta=2.0, requests=6)
+        inst = ProblemInstance(b.build(), 8, 5.0, Policy.MULTIPLE)
+        p = multiple_bin(inst)
+        assert is_valid(inst, p)
+        # 12 requests pinned below n with W=8: need 2 servers there.
+        assert p.n_replicas == 2
+        assert exact_multiple(inst).n_replicas == 2
+
+    def test_deep_pinned_chain(self):
+        # A chain where each level is forced to keep requests local.
+        b = TreeBuilder()
+        node = b.add_root()
+        for _ in range(6):
+            b.add(node, delta=3.0, requests=4)
+            node = b.add(node, delta=3.0)
+        b.add(node, delta=3.0, requests=4)
+        inst = ProblemInstance(b.build(), 5, 3.0, Policy.MULTIPLE)
+        p = multiple_bin(inst)
+        assert is_valid(inst, p)
+        assert p.n_replicas == exact_multiple(inst).n_replicas
+
+
+class TestOptimality:
+    """Theorem 6's claim, checked against the exact solver."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_optimal_without_distance(self, seed):
+        inst = random_binary_tree(
+            5, 6, capacity=9, dmax=None, policy=Policy.MULTIPLE,
+            seed=seed, request_range=(1, 9),
+        )
+        p = multiple_bin(inst)
+        assert is_valid(inst, p)
+        assert p.n_replicas == exact_multiple(inst).n_replicas
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 16, 20, 24])
+    def test_optimal_with_distance_typical(self, seed):
+        # Seeds drawn from the E6 sweep where the algorithm is optimal
+        # (see EXPERIMENTS.md F1 for the exceptional regime).
+        inst = random_binary_tree(
+            5, 6, capacity=10, dmax=5.0, policy=Policy.MULTIPLE,
+            seed=seed, request_range=(1, 10),
+        )
+        p = multiple_bin(inst)
+        assert is_valid(inst, p)
+        assert p.n_replicas == exact_multiple(inst).n_replicas
+
+    def test_theorem6_counterexample_regression(self, theorem6_counterexample):
+        """Reproduction finding F1: the literal Algorithm 3 opens 6
+        replicas where 5 suffice.  See EXPERIMENTS.md."""
+        inst = theorem6_counterexample
+        p = multiple_bin(inst)
+        assert is_valid(inst, p)
+        e = exact_multiple(inst)
+        assert is_valid(inst, e)
+        assert e.n_replicas == 5
+        assert p.n_replicas == 6  # pinned: the paper's greedy is off by one here
+
+    def test_never_below_exact(self):
+        # Sanity: a valid placement can never beat the exact optimum.
+        for seed in range(10):
+            inst = random_binary_tree(
+                4, 5, capacity=7, dmax=4.0, policy=Policy.MULTIPLE,
+                seed=100 + seed, request_range=(1, 7),
+            )
+            assert multiple_bin(inst).n_replicas >= exact_multiple(inst).n_replicas
+
+
+class TestScale:
+    def test_deep_caterpillar_no_recursion_error(self):
+        inst = caterpillar(
+            3000, capacity=10, dmax=None, policy=Policy.MULTIPLE,
+            request_range=(1, 5), seed=0,
+        )
+        p = multiple_bin(inst)
+        assert p.n_replicas >= inst.tree.total_requests // inst.capacity

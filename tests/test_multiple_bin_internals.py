@@ -1,0 +1,103 @@
+"""White-box tests for Algorithm 3's list machinery.
+
+The paper's ``merge`` and ``add-dist`` procedures carry the key
+invariant — triples sorted by non-increasing distance, one triple per
+client per list — that the optimality argument leans on.  These tests
+pin the helpers directly, plus the observable invariants of full runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Policy, ProblemInstance, TreeBuilder, multiple_bin
+from repro.algorithms.multiple_bin import _add_dist, _merge
+
+
+class TestMerge:
+    def test_keeps_non_increasing_order(self):
+        a = [(5.0, 2, 1), (3.0, 1, 2)]
+        b = [(4.0, 4, 3), (1.0, 2, 4)]
+        out = _merge(a, b)
+        assert [d for d, _w, _i in out] == [5.0, 4.0, 3.0, 1.0]
+
+    def test_empty_sides(self):
+        a = [(2.0, 1, 1)]
+        assert _merge(a, []) == a
+        assert _merge([], a) == a
+        assert _merge([], []) == []
+
+    def test_ties_stable_left_first(self):
+        a = [(3.0, 1, 1)]
+        b = [(3.0, 2, 2)]
+        out = _merge(a, b)
+        assert out[0][2] == 1 and out[1][2] == 2
+
+    def test_preserves_all_triples(self):
+        a = [(9.0, 1, 1), (7.0, 2, 2), (2.0, 3, 3)]
+        b = [(8.0, 4, 4), (2.5, 5, 5)]
+        out = _merge(a, b)
+        assert sorted(out) == sorted(a + b)
+
+
+class TestAddDist:
+    def test_shifts_all(self):
+        lst = [(5.0, 2, 1), (3.0, 1, 2)]
+        out = _add_dist(lst, 2.5)
+        assert out == [(7.5, 2, 1), (5.5, 1, 2)]
+
+    def test_zero_shift_copies(self):
+        lst = [(5.0, 2, 1)]
+        out = _add_dist(lst, 0.0)
+        assert out == lst and out is not lst
+
+
+class TestRunInvariants:
+    def make(self, W=8, dmax=6.0):
+        b = TreeBuilder()
+        r = b.add_root()
+        n1 = b.add(r, delta=1.0)
+        n2 = b.add(n1, delta=2.0)
+        b.add(n2, delta=1.0, requests=5)
+        b.add(n2, delta=2.0, requests=6)
+        b.add(n1, delta=1.5, requests=7)
+        return ProblemInstance(b.build(), W, dmax, Policy.MULTIPLE)
+
+    def test_one_assignment_pair_per_client_server(self):
+        inst = self.make()
+        p = multiple_bin(inst)
+        # assignments dict keys are unique by construction; amounts sum
+        # to the demand.
+        for c in inst.tree.clients:
+            assert p.served_amount(c) == inst.tree.requests(c)
+
+    def test_most_constrained_absorbed_first(self):
+        # Two clients, the farther one must be absorbed when the server
+        # opens on capacity.
+        b = TreeBuilder()
+        r = b.add_root()
+        n = b.add(r, delta=1.0)
+        far = b.add(n, delta=4.0, requests=6)
+        near = b.add(n, delta=1.0, requests=6)
+        inst = ProblemInstance(b.build(), 8, 10.0, Policy.MULTIPLE)
+        p = multiple_bin(inst)
+        # n absorbs far entirely (most constrained) + 2 of near.
+        assert p.assignments.get((far, n)) == 6
+        assert p.assignments.get((near, n)) == 2
+        assert p.assignments.get((near, r)) == 4
+
+    def test_no_replica_serves_above_capacity(self):
+        for dmax in (None, 3.0, 8.0):
+            inst = self.make(dmax=dmax)
+            p = multiple_bin(inst)
+            assert all(l <= inst.capacity for l in p.loads().values())
+
+    def test_equal_distance_boundary_travels(self):
+        # d + delta == dmax exactly: the paper's strict '>' lets it pass.
+        b = TreeBuilder()
+        r = b.add_root()
+        n = b.add(r, delta=2.0)
+        b.add(n, delta=2.0, requests=3)
+        inst = ProblemInstance(b.build(), 10, 4.0, Policy.MULTIPLE)
+        p = multiple_bin(inst)
+        assert p.replicas == frozenset({r})

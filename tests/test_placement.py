@@ -1,0 +1,83 @@
+"""Unit tests for the placement model (repro.core.placement)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import InvalidPlacementError, Placement
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = Placement([1, 2], {(3, 1): 4, (4, 2): 5})
+        assert p.n_replicas == 2
+        assert p.replicas == frozenset({1, 2})
+
+    def test_rejects_non_positive_amount(self):
+        with pytest.raises(InvalidPlacementError):
+            Placement([1], {(3, 1): 0})
+        with pytest.raises(InvalidPlacementError):
+            Placement([1], {(3, 1): -2})
+
+    def test_empty(self):
+        p = Placement([], {})
+        assert p.n_replicas == 0
+        assert list(p.iter_assignments()) == []
+
+
+class TestQueries:
+    @pytest.fixture
+    def placement(self):
+        return Placement(
+            [1, 2, 9],
+            {(3, 1): 4, (4, 1): 2, (4, 2): 3, (5, 2): 1},
+        )
+
+    def test_servers_of(self, placement):
+        assert placement.servers_of(4) == [1, 2]
+        assert placement.servers_of(3) == [1]
+        assert placement.servers_of(99) == []
+
+    def test_served_amount(self, placement):
+        assert placement.served_amount(4) == 5
+        assert placement.served_amount(3) == 4
+        assert placement.served_amount(99) == 0
+
+    def test_load(self, placement):
+        assert placement.load(1) == 6
+        assert placement.load(2) == 4
+        assert placement.load(9) == 0
+
+    def test_loads_includes_idle_replicas(self, placement):
+        loads = placement.loads()
+        assert loads == {1: 6, 2: 4, 9: 0}
+
+    def test_used_servers(self, placement):
+        assert placement.used_servers() == frozenset({1, 2})
+
+    def test_iter_assignments_sorted(self, placement):
+        recs = list(placement.iter_assignments())
+        assert [(a.client, a.server) for a in recs] == sorted(
+            (a.client, a.server) for a in recs
+        )
+
+    def test_restricted_to(self, placement):
+        sub = placement.restricted_to([4])
+        assert sub.served_amount(4) == 5
+        assert sub.served_amount(3) == 0
+        assert sub.replicas == frozenset({1, 2})
+
+
+class TestEquality:
+    def test_eq_and_hash(self):
+        a = Placement([1], {(2, 1): 3})
+        b = Placement([1], {(2, 1): 3})
+        c = Placement([1], {(2, 1): 4})
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_assignments_copy_is_defensive(self):
+        p = Placement([1], {(2, 1): 3})
+        d = p.assignments
+        d[(9, 9)] = 1
+        assert (9, 9) not in p.assignments

@@ -1,0 +1,255 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Strategy-generated random trees and demand profiles exercise:
+
+* solver outputs are always checker-valid;
+* the paper's approximation bounds hold against the combinatorial lower
+  bound (which never exceeds the optimum);
+* exact-solver sandwiching (lower bound ≤ exact ≤ any heuristic);
+* data-structure invariants (tree paths, flow conservation, partition
+  solver correctness against brute force).
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Policy,
+    ProblemInstance,
+    Tree,
+    is_valid,
+    lower_bound,
+    multiple_greedy,
+    single_gen,
+    single_nod,
+)
+from repro.algorithms import multiple_bin
+from repro.core.tree import NO_PARENT
+from repro.flow import FlowNetwork, max_flow
+from repro.reductions import solve_two_partition, solve_two_partition_equal
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def tree_instances(draw, max_nodes=24, binary=False, with_dmax=True):
+    """A random valid ProblemInstance."""
+    n_internal = draw(st.integers(1, max_nodes // 2))
+    arity_cap = 2 if binary else draw(st.integers(2, 4))
+    # Build parent pointers for the internal skeleton.
+    parents = [NO_PARENT]
+    child_count = {0: 0}
+    for v in range(1, n_internal):
+        options = [u for u in range(v) if child_count[u] < arity_cap - 1]
+        if not options:
+            break
+        p = draw(st.sampled_from(options))
+        parents.append(p)
+        child_count[p] = child_count[p] + 1
+        child_count[v] = 0
+    n_int = len(parents)
+    # Attach clients: every childless internal node gets one, then a few
+    # more wherever arity allows.
+    W = draw(st.integers(3, 20))
+    requests = [0] * n_int
+    deltas = [math.inf] + [
+        draw(st.floats(0.5, 3.0, allow_nan=False)) for _ in range(n_int - 1)
+    ]
+    client_hosts = [u for u in range(n_int) if child_count[u] == 0]
+    for host in client_hosts:
+        child_count[host] += 1
+    extra = draw(st.integers(0, max_nodes // 2))
+    for _ in range(extra):
+        options = [u for u in range(n_int) if child_count[u] < arity_cap]
+        if not options:
+            break
+        host = draw(st.sampled_from(options))
+        child_count[host] += 1
+        client_hosts.append(host)
+    for host in client_hosts:
+        parents.append(host)
+        deltas.append(draw(st.floats(0.5, 3.0, allow_nan=False)))
+        requests.append(draw(st.integers(0, W)))
+    tree = Tree(parents, deltas, requests)
+    dmax = (
+        draw(st.one_of(st.none(), st.floats(1.0, 15.0, allow_nan=False)))
+        if with_dmax
+        else None
+    )
+    return ProblemInstance(tree, W, dmax, Policy.SINGLE)
+
+
+# ----------------------------------------------------------------------
+# Solver invariants
+# ----------------------------------------------------------------------
+
+COMMON = dict(
+    deadline=None, suppress_health_check=[HealthCheck.too_slow], max_examples=60
+)
+
+
+@settings(**COMMON)
+@given(tree_instances())
+def test_single_gen_always_valid_and_bounded(inst):
+    p = single_gen(inst)
+    assert is_valid(inst, p)
+    lb = lower_bound(inst)
+    demanding = sum(1 for c in inst.tree.clients if inst.tree.requests(c) > 0)
+    if inst.tree.total_requests > 0:
+        assert p.n_replicas >= max(lb, 1)
+        # Every replica single-gen opens serves at least one whole
+        # client, so |R| never exceeds the demanding-client count.
+        assert p.n_replicas <= demanding
+    else:
+        assert p.n_replicas == 0
+
+
+@settings(**COMMON)
+@given(tree_instances(with_dmax=False))
+def test_single_nod_always_valid(inst):
+    p = single_nod(inst)
+    assert is_valid(inst, p)
+
+
+@settings(**COMMON)
+@given(tree_instances(with_dmax=False))
+def test_single_nod_never_worse_than_all_local(inst):
+    p = single_nod(inst)
+    demanding = sum(1 for c in inst.tree.clients if inst.tree.requests(c) > 0)
+    assert p.n_replicas <= max(demanding, 1) or demanding == 0
+
+
+@settings(**COMMON)
+@given(tree_instances(binary=True))
+def test_multiple_bin_always_valid(inst):
+    inst = inst.with_policy(Policy.MULTIPLE)
+    p = multiple_bin(inst)
+    assert is_valid(inst, p)
+    if inst.tree.total_requests > 0:
+        assert p.n_replicas >= lower_bound(inst)
+
+
+@settings(**COMMON)
+@given(tree_instances())
+def test_multiple_greedy_always_valid(inst):
+    inst = inst.with_policy(Policy.MULTIPLE)
+    p = multiple_greedy(inst)
+    assert is_valid(inst, p)
+
+
+@settings(**COMMON)
+@given(tree_instances(binary=True))
+def test_multiple_bin_replicas_all_useful(inst):
+    """Algorithm 3 never opens a replica that serves nothing, and its
+    count respects the combinatorial lower bound."""
+    inst = inst.with_policy(Policy.MULTIPLE)
+    m = multiple_bin(inst)
+    assert m.n_replicas >= lower_bound(inst)
+    loads = m.loads()
+    assert all(load > 0 for load in loads.values())
+
+
+# ----------------------------------------------------------------------
+# Tree invariants
+# ----------------------------------------------------------------------
+
+
+@settings(**COMMON)
+@given(tree_instances())
+def test_path_distances_consistent(inst):
+    t = inst.tree
+    for c in t.clients:
+        path = t.path_to_root(c)
+        assert path[0] == c and path[-1] == t.root
+        # Eligible servers are a prefix of the path under any dmax.
+        elig = [s for s, _d in t.eligible_servers(c, inst.dmax)]
+        assert elig == path[: len(elig)]
+        # Distances accumulate monotonically.
+        dists = [d for _s, d in t.eligible_servers(c, None)]
+        assert dists == sorted(dists)
+        # Same sum, different accumulation order: allow float noise.
+        assert abs(dists[-1] - t.depth(c)) < 1e-9
+
+
+@settings(**COMMON)
+@given(tree_instances())
+def test_postorder_is_reverse_topological(inst):
+    t = inst.tree
+    assert list(t.postorder()) == list(reversed(t.topological_order()))
+
+
+# ----------------------------------------------------------------------
+# Flow invariants
+# ----------------------------------------------------------------------
+
+
+@settings(**COMMON)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7), st.integers(0, 9)),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_max_flow_conservation_and_bounds(edges):
+    g = FlowNetwork(8)
+    arcs = []
+    for u, v, cap in edges:
+        if u != v:
+            arcs.append((g.add_edge(u, v, cap), u, v, cap))
+    total = max_flow(g, 0, 7)
+    assert total >= 0
+    net = [0] * 8
+    for eid, u, v, cap in arcs:
+        f = g.flow_on(eid)
+        assert 0 <= f <= cap
+        net[u] -= f
+        net[v] += f
+    assert net[0] == -total and net[7] == total
+    assert all(net[v] == 0 for v in range(1, 7))
+
+
+# ----------------------------------------------------------------------
+# Partition solver correctness vs brute force
+# ----------------------------------------------------------------------
+
+
+@settings(**COMMON)
+@given(st.lists(st.integers(1, 12), min_size=2, max_size=8))
+def test_two_partition_matches_brute_force(a):
+    S = sum(a)
+    brute = any(
+        2 * sum(a[i] for i in c) == S
+        for k in range(len(a) + 1)
+        for c in combinations(range(len(a)), k)
+    )
+    got = solve_two_partition(a)
+    assert (got is not None) == brute
+    if got is not None:
+        assert 2 * sum(a[i] for i in got) == S
+
+
+@settings(**COMMON)
+@given(
+    st.lists(st.integers(1, 12), min_size=2, max_size=8).filter(
+        lambda a: len(a) % 2 == 0
+    )
+)
+def test_two_partition_equal_matches_brute_force(a):
+    S = sum(a)
+    m = len(a) // 2
+    brute = any(
+        2 * sum(a[i] for i in c) == S for c in combinations(range(len(a)), m)
+    )
+    got = solve_two_partition_equal(a)
+    assert (got is not None) == brute
+    if got is not None:
+        assert len(got) == m
+        assert 2 * sum(a[i] for i in got) == S

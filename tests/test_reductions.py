@@ -1,0 +1,285 @@
+"""Tests for the hardness-proof reductions (Theorems 1, 2, 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Policy, is_valid
+from repro.algorithms import exact_single
+from repro.reductions import (
+    build_i2,
+    build_i4,
+    build_i6,
+    i2_target_replicas,
+    i4_gap_decision,
+    i6_decision,
+    i6_target_replicas,
+    placement_from_partition_equal,
+    placement_from_three_partition,
+    placement_from_two_partition,
+    solve_three_partition,
+    solve_two_partition,
+    solve_two_partition_equal,
+)
+
+
+class TestTwoPartitionSolver:
+    def test_yes_instance(self):
+        sol = solve_two_partition([3, 1, 1, 2, 2, 1])
+        assert sol is not None
+        assert sum([3, 1, 1, 2, 2, 1][i] for i in sol) == 5
+
+    def test_no_instance_odd(self):
+        assert solve_two_partition([3, 2]) is None
+
+    def test_no_instance_even_total(self):
+        assert solve_two_partition([6, 2]) is None
+
+    def test_empty(self):
+        assert solve_two_partition([]) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            solve_two_partition([-1, 1])
+
+    @pytest.mark.parametrize("a", [[1, 1], [2, 3, 5], [4, 4, 4, 4], [7, 3, 2, 2]])
+    def test_against_brute_force(self, a):
+        from itertools import combinations
+
+        S = sum(a)
+        brute = any(
+            sum(c) * 2 == S
+            for k in range(len(a) + 1)
+            for c in combinations(a, k)
+        )
+        assert (solve_two_partition(a) is not None) == brute
+
+
+class TestTwoPartitionEqualSolver:
+    def test_yes_instance(self):
+        a = [1, 5, 2, 4]
+        sol = solve_two_partition_equal(a)
+        assert sol is not None
+        assert len(sol) == 2
+        assert sum(a[i] for i in sol) == 6
+
+    def test_no_when_only_unequal_cardinality_split(self):
+        # 6 = 1+2+3 vs 6: equal sums exist only as 3-vs-1 items.
+        assert solve_two_partition_equal([1, 2, 3, 6]) is None
+
+    def test_odd_count_rejected(self):
+        with pytest.raises(ValueError):
+            solve_two_partition_equal([1, 2, 3])
+
+    @pytest.mark.parametrize(
+        "a", [[1, 1, 1, 1], [5, 3, 4, 2, 7, 1], [2, 2, 9, 9], [1, 2, 4, 8]]
+    )
+    def test_against_brute_force(self, a):
+        from itertools import combinations
+
+        S = sum(a)
+        m = len(a) // 2
+        brute = any(
+            sum(a[i] for i in c) * 2 == S
+            for c in combinations(range(len(a)), m)
+        )
+        assert (solve_two_partition_equal(a) is not None) == brute
+
+
+class TestThreePartitionSolver:
+    def test_yes_instance(self):
+        a = [30, 30, 30, 23, 31, 36, 25, 27, 38]  # B = 90
+        sol = solve_three_partition(a, 90)
+        assert sol is not None
+        for t in sol:
+            assert sum(a[i] for i in t) == 90
+        used = sorted(i for t in sol for i in t)
+        assert used == list(range(9))
+
+    def test_no_instance(self):
+        # Sums to 3B but no triple partition: 30,30,30 / 31,29,31...
+        a = [31, 31, 31, 29, 29, 29, 30, 30, 30]
+        sol = solve_three_partition(a, 90)
+        assert sol is not None  # 31+29+30 x3 works
+        a2 = [32, 32, 32, 28, 28, 28, 31, 29, 30]
+        # total 270; need each triple = 90: 32+28+30, 32+28+29?=89 no...
+        out = solve_three_partition(a2, 90)
+        if out is not None:
+            for t in out:
+                assert sum(a2[i] for i in t) == 90
+
+    def test_wrong_total(self):
+        assert solve_three_partition([1, 2, 3], 100) is None
+
+    def test_not_multiple_of_three(self):
+        with pytest.raises(ValueError):
+            solve_three_partition([1, 2, 3, 4], 5)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            solve_three_partition([0, 1, 2], 1)
+
+
+class TestI2:
+    YES = ([30, 30, 30, 23, 31, 36, 25, 27, 38], 90)  # m=3, promise holds
+
+    def test_build_structure(self):
+        inst, clients = build_i2(*self.YES)
+        assert inst.variant == "Single-NoD-Bin"
+        assert inst.capacity == 90
+        assert len(clients) == 9
+        for k, c in enumerate(clients):
+            assert inst.tree.requests(c) == self.YES[0][k]
+
+    def test_promise_violation_rejected(self):
+        with pytest.raises(ValueError):
+            build_i2([1, 1, 88, 30, 30, 30], 90)
+
+    def test_yes_maps_to_m_replicas(self):
+        inst, clients = build_i2(*self.YES)
+        triples = solve_three_partition(*self.YES)
+        assert triples is not None
+        p = placement_from_three_partition(inst, clients, triples)
+        assert is_valid(inst, p)
+        assert p.n_replicas == i2_target_replicas(self.YES[0]) == 3
+
+    def test_yes_exact_equals_m(self):
+        # Small yes-instance (m=2): exact optimum is exactly m.
+        a = [30, 40, 35, 33, 42, 36]  # B = 108: 30+42+36, 40+35+33
+        inst, clients = build_i2(a, 108)
+        assert solve_three_partition(a, 108) is not None
+        assert exact_single(inst).n_replicas == 2
+
+    def test_no_exact_exceeds_m(self):
+        # m=2, B=100, promise 25 < a_i < 50 holds, and no triple sums
+        # to 100: the triples containing 45 or 47 would need 55 or 53
+        # from two of the 27s (54), so no partition exists.
+        a = [27, 27, 27, 27, 45, 47]
+        assert sum(a) == 200
+        assert solve_three_partition(a, 100) is None
+        inst, _clients = build_i2(a, 100)
+        assert exact_single(inst).n_replicas > 2
+
+    def test_reduction_equivalence_sweep(self):
+        """opt <= m  <=>  3-Partition yes, over several instances."""
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        for _ in range(6):
+            B = 100
+            # Draw 6 values in (25, 50) summing to 200 (m=2).
+            while True:
+                vals = sorted(int(v) for v in rng.integers(26, 50, size=6))
+                if sum(vals) == 2 * B and all(25 < v < 50 for v in vals):
+                    break
+            yes = solve_three_partition(vals, B) is not None
+            inst, clients = build_i2(vals, B)
+            opt = exact_single(inst).n_replicas
+            assert (opt <= 2) == yes
+
+
+class TestI4:
+    def test_build(self):
+        inst, clients = build_i4([3, 1, 2, 2])
+        assert inst.variant == "Single-NoD-Bin"
+        assert inst.capacity == 4
+
+    def test_odd_total_rejected(self):
+        with pytest.raises(ValueError):
+            build_i4([3, 2])
+
+    def test_oversized_item_rejected(self):
+        with pytest.raises(ValueError):
+            build_i4([10, 1, 1])  # odd -> also rejected; make even
+        with pytest.raises(ValueError):
+            build_i4([10, 1, 1, 2])
+
+    def test_yes_gives_two_replicas(self):
+        a = [3, 1, 2, 2]
+        subset = solve_two_partition(a)
+        assert subset is not None
+        inst, clients = build_i4(a)
+        p = placement_from_two_partition(inst, clients, subset)
+        assert is_valid(inst, p)
+        assert p.n_replicas == 2
+        assert i4_gap_decision(p.n_replicas) is True
+
+    def test_no_instance_needs_three(self):
+        a = [5, 5, 1, 1]  # S=12, W=6; subsets: 5+1=6 ✓ yes actually.
+        a = [5, 3, 3, 1]  # S=12, W=6: 5+1=6 ✓ yes again.
+        a = [7, 3, 3, 3]  # S=16, W=8: 7+3=10, 3+3=6, 7+3+3=13... no 8.
+        assert solve_two_partition(a) is None
+        inst, clients = build_i4(a)
+        opt = exact_single(inst).n_replicas
+        assert opt >= 3
+        assert i4_gap_decision(opt) is False
+
+    def test_gap_argument_equivalence(self):
+        """exact optimum == 2 <=> 2-Partition yes (Theorem 2's engine)."""
+        for a in ([2, 2, 2, 2], [4, 2, 1, 1], [6, 3, 2, 1], [5, 4, 2, 1]):
+            if sum(a) % 2 or max(a) > sum(a) // 2:
+                continue
+            yes = solve_two_partition(a) is not None
+            inst, _clients = build_i4(a)
+            assert (exact_single(inst).n_replicas == 2) == yes
+
+
+class TestI6:
+    YES = [3, 5, 4, 6, 2, 4]  # m=3, S=24, split {3,5,4}... sums 12.
+
+    def test_build_structure(self):
+        inst, lay = build_i6(self.YES)
+        m = 3
+        t = inst.tree
+        assert inst.variant == "Multiple-Bin"
+        assert inst.capacity == 13  # S/2 + 1
+        assert inst.dmax == 9.0  # 3m
+        assert len(t.clients) == 5 * m
+        assert len(t.internal_nodes) == 5 * m - 1
+        assert t.requests(lay.client_big) == (2 * m + 1) * 13
+        assert t.is_binary
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            build_i6([1, 2, 3])  # odd count
+        with pytest.raises(ValueError):
+            build_i6([1, 2, 3, 5])  # odd sum
+        with pytest.raises(ValueError):
+            build_i6([10, 1, 1, 2, 2, 2])  # a_i > S/4 -> b_i < 0
+
+    def test_yes_maps_to_4m_replicas(self):
+        subset = solve_two_partition_equal(self.YES)
+        assert subset is not None
+        inst, lay = build_i6(self.YES)
+        p = placement_from_partition_equal(inst, lay, subset)
+        assert is_valid(inst, p)
+        assert p.n_replicas == i6_target_replicas(3) == 12
+
+    def test_decision_yes(self):
+        inst, lay = build_i6(self.YES)
+        ok, subset = i6_decision(inst, lay)
+        assert ok and subset is not None
+        a = self.YES
+        assert sum(a[i] for i in subset) == sum(a) // 2
+
+    def test_decision_no(self):
+        # S=12, m=3: size-3 subsets sum to 5, 7, 3 or 9 — never 6.
+        a = [1, 1, 1, 3, 3, 3]
+        assert solve_two_partition_equal(a) is None
+        inst, lay = build_i6(a)
+        ok, _ = i6_decision(inst, lay)
+        assert not ok
+
+    def test_decision_matches_partition_solver(self):
+        import numpy as np
+
+        rng = np.random.default_rng(11)
+        for _ in range(4):
+            while True:
+                a = [int(v) for v in rng.integers(2, 6, size=4)]  # m=2
+                S = sum(a)
+                if S % 2 == 0 and all(x <= S // 4 for x in a):
+                    break
+            inst, lay = build_i6(a)
+            ok, _ = i6_decision(inst, lay)
+            assert ok == (solve_two_partition_equal(a) is not None)

@@ -1,0 +1,47 @@
+"""Tests for the reproduction-report generator (repro.analysis.report)."""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    full_report,
+    optimality_report,
+    reduction_report,
+    tight_family_report,
+)
+from repro.cli import main
+
+
+class TestSections:
+    def test_tight_family_tables(self):
+        out = tight_family_report(max_m=3, arity=2, max_k=4)
+        assert "Theorems 3 & 4" in out
+        # m=3, Δ=2: 9 vs 4.
+        assert "| 3 | 9 | 4 |" in out
+        # K=4: 8 vs 5.
+        assert "| 4 | 8 | 5 |" in out
+
+    def test_optimality_sweep(self):
+        out = optimality_report(trials=4)
+        assert "Theorem 6" in out
+        assert out.count("/4 |") == 4  # four regimes
+
+    def test_reductions_consistent(self):
+        out = reduction_report()
+        assert "MISMATCH" not in out
+        assert out.count("consistent") == 3
+
+    def test_full_report_assembles(self):
+        out = full_report()
+        for marker in ("Reproduction report", "Theorem 6", "I2", "I4", "I6"):
+            assert marker in out
+
+
+class TestCli:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report"]) == 0
+        assert "Reproduction report" in capsys.readouterr().out
+
+    def test_report_to_file(self, tmp_path):
+        out = str(tmp_path / "report.md")
+        assert main(["report", "--out", out]) == 0
+        assert "Theorem 6" in open(out).read()

@@ -1,0 +1,101 @@
+"""Tests for parameter sweeps (repro.analysis.sensitivity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Policy
+from repro.algorithms import exact_single, single_gen
+from repro.analysis import (
+    SweepPoint,
+    capacity_sweep,
+    dmax_sweep,
+    knee,
+    render_sweep,
+)
+from repro.instances import cdn_hierarchy, random_tree
+
+
+@pytest.fixture(scope="module")
+def inst():
+    return random_tree(
+        4, 7, capacity=10, dmax=6.0, policy=Policy.SINGLE,
+        seed=7, max_arity=3, request_range=(1, 10),
+    )
+
+
+class TestDmaxSweep:
+    def test_exact_curve_monotone(self, inst):
+        points = dmax_sweep(
+            inst, exact_single, [2.0, 4.0, 6.0, 9.0, None]
+        )
+        counts = [p.replicas for p in points]
+        assert counts == sorted(counts, reverse=True)
+        assert all(p.valid for p in points)
+
+    def test_nod_encoded_as_inf(self, inst):
+        points = dmax_sweep(inst, exact_single, [None])
+        assert points[0].value == float("inf")
+
+    def test_heuristic_points_valid(self, inst):
+        points = dmax_sweep(inst, single_gen, [3.0, 6.0, None])
+        assert all(p.valid for p in points)
+
+    def test_tight_sla_costs_more(self, inst):
+        points = dmax_sweep(inst, exact_single, [0.0, None])
+        assert points[0].replicas >= points[-1].replicas
+
+
+class TestCapacitySweep:
+    def test_exact_curve_monotone(self, inst):
+        points = capacity_sweep(inst, exact_single, [10, 15, 25, 60])
+        counts = [p.replicas for p in points]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_values_recorded(self, inst):
+        points = capacity_sweep(inst, exact_single, [10, 20])
+        assert [p.value for p in points] == [10.0, 20.0]
+
+
+class TestKnee:
+    def test_empty(self):
+        assert knee([]) is None
+
+    def test_finds_flattening_point(self):
+        pts = [
+            SweepPoint(1.0, 9, True),
+            SweepPoint(2.0, 5, True),
+            SweepPoint(3.0, 3, True),
+            SweepPoint(4.0, 3, True),
+        ]
+        k = knee(pts)
+        assert k is not None and k.value == 3.0
+
+    def test_slack_moves_knee_earlier(self):
+        pts = [
+            SweepPoint(1.0, 9, True),
+            SweepPoint(2.0, 4, True),
+            SweepPoint(3.0, 3, True),
+        ]
+        assert knee(pts).value == 3.0
+        assert knee(pts, slack=0.5).value == 2.0
+
+
+class TestRender:
+    def test_table_shape(self, inst):
+        points = dmax_sweep(inst, single_gen, [3.0, None])
+        out = render_sweep(points)
+        assert "NoD" in out and "#" in out
+        assert len(out.splitlines()) == 3
+
+    def test_empty(self):
+        assert "empty" in render_sweep([])
+
+
+class TestRealisticCurve:
+    def test_cdn_provisioning_curve(self):
+        inst = cdn_hierarchy(capacity=300, seed=3)
+        points = dmax_sweep(inst, single_gen, [3.0, 6.0, 10.0, None])
+        # Heuristic curve: generally decreasing, last point minimal.
+        assert points[-1].replicas == min(p.replicas for p in points)
+        assert all(p.valid for p in points)

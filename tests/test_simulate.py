@@ -1,0 +1,148 @@
+"""Tests for the request-serving simulator (repro.simulate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Policy
+from repro.algorithms import multiple_bin, single_gen
+from repro.instances import random_binary_tree, random_tree
+from repro.simulate import (
+    EventQueue,
+    deterministic_trace,
+    iter_units,
+    poisson_trace,
+    simulate,
+)
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(3.0, "c")
+        q.push(1.0, "a")
+        q.push(2.0, "b")
+        assert [p for _, p in q.drain()] == ["a", "b", "c"]
+
+    def test_fifo_ties(self):
+        q = EventQueue()
+        for name in "abc":
+            q.push(1.0, name)
+        assert [p for _, p in q.drain()] == ["a", "b", "c"]
+
+    def test_negative_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(-1.0, "x")
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(0.0, "x")
+        assert q and len(q) == 1
+        assert q.peek_time() == 0.0
+
+
+class TestTraces:
+    def test_deterministic_counts(self, paper_example):
+        t = paper_example.tree
+        trace = deterministic_trace(t, horizon=3)
+        assert len(trace) == 3 * t.total_requests
+        # Per-unit counts are exact.
+        per_unit = {}
+        for req in trace:
+            per_unit[int(req.time)] = per_unit.get(int(req.time), 0) + 1
+        assert per_unit == {0: 14, 1: 14, 2: 14}
+
+    def test_deterministic_sorted(self, paper_example):
+        trace = deterministic_trace(paper_example.tree, horizon=2)
+        times = [r.time for r in trace]
+        assert times == sorted(times)
+
+    def test_poisson_seeded(self, paper_example):
+        a = poisson_trace(paper_example.tree, 5.0, seed=3)
+        b = poisson_trace(paper_example.tree, 5.0, seed=3)
+        assert [(r.time, r.client) for r in a] == [(r.time, r.client) for r in b]
+
+    def test_poisson_rate_roughly_matches(self, paper_example):
+        t = paper_example.tree
+        trace = poisson_trace(t, 200.0, seed=0)
+        expected = t.total_requests * 200
+        assert 0.9 * expected < len(trace) < 1.1 * expected
+
+    def test_bad_horizon(self, paper_example):
+        with pytest.raises(ValueError):
+            deterministic_trace(paper_example.tree, 0)
+        with pytest.raises(ValueError):
+            poisson_trace(paper_example.tree, 0.0)
+
+    def test_iter_units(self, paper_example):
+        trace = deterministic_trace(paper_example.tree, horizon=3)
+        units = list(iter_units(trace))
+        assert len(units) == 3
+        assert all(len(u) == 14 for u in units)
+
+
+class TestSimulation:
+    def test_deterministic_trace_never_overloads(self, paper_example):
+        """A checker-valid placement must show zero overloaded windows
+        on the literal (deterministic) workload — the static capacity
+        constraint *is* the per-unit load."""
+        p = single_gen(paper_example)
+        trace = deterministic_trace(paper_example.tree, horizon=5)
+        res = simulate(paper_example, p, trace, horizon=5)
+        assert res.overloads == []
+        assert res.served == len(trace)
+
+    def test_latency_bounded_by_dmax(self, paper_example):
+        p = single_gen(paper_example)
+        trace = deterministic_trace(paper_example.tree, horizon=2)
+        res = simulate(paper_example, p, trace, horizon=2)
+        assert res.max_latency <= paper_example.dmax
+
+    def test_unit_loads_match_static_assignment(self, paper_example):
+        p = single_gen(paper_example)
+        trace = deterministic_trace(paper_example.tree, horizon=4)
+        res = simulate(paper_example, p, trace, horizon=4)
+        static = p.loads()
+        for s, vec in res.unit_loads.items():
+            assert vec == [static[s]] * 4
+
+    def test_multiple_policy_split_served_proportionally(self):
+        inst = random_binary_tree(
+            5, 6, capacity=8, dmax=5.0, policy=Policy.MULTIPLE,
+            seed=1, request_range=(1, 8),
+        )
+        p = multiple_bin(inst)
+        trace = deterministic_trace(inst.tree, horizon=6)
+        res = simulate(inst, p, trace, horizon=6)
+        assert res.overloads == []
+        static = p.loads()
+        for s, vec in res.unit_loads.items():
+            assert vec == [static[s]] * 6
+
+    def test_poisson_overloads_reported_not_fatal(self, paper_example):
+        p = single_gen(paper_example)
+        trace = poisson_trace(paper_example.tree, 20.0, seed=2)
+        res = simulate(paper_example, p, trace, horizon=20)
+        assert res.served == len(trace)
+        assert 0.0 <= res.overload_fraction <= 1.0
+
+    def test_summary_strings(self, paper_example):
+        p = single_gen(paper_example)
+        trace = deterministic_trace(paper_example.tree, horizon=2)
+        res = simulate(paper_example, p, trace, horizon=2)
+        s = res.summary()
+        assert "served" in s and "latency" in s
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_any_valid_placement_simulates_cleanly(self, seed):
+        inst = random_tree(
+            5, 10, capacity=12, dmax=6.0, policy=Policy.SINGLE,
+            seed=seed, max_arity=4,
+        )
+        p = single_gen(inst)
+        trace = deterministic_trace(inst.tree, horizon=3)
+        res = simulate(inst, p, trace, horizon=3)
+        assert res.overloads == []
+        assert res.max_latency <= inst.dmax

@@ -1,0 +1,162 @@
+"""Tests for Algorithm 1 — single-gen (Theorem 3, Corollary 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    InfeasibleInstanceError,
+    Policy,
+    ProblemInstance,
+    TreeBuilder,
+    is_valid,
+    single_gen,
+)
+from repro.algorithms import exact_single
+from repro.instances import random_tree, single_gen_tight_instance
+
+
+class TestBasicBehaviour:
+    def test_valid_on_example(self, paper_example):
+        p = single_gen(paper_example)
+        assert is_valid(paper_example, p)
+
+    def test_single_client_tree(self):
+        b = TreeBuilder()
+        r = b.add_root()
+        b.add(r, delta=1.0, requests=5)
+        inst = ProblemInstance(b.build(), 10, 3.0, Policy.SINGLE)
+        p = single_gen(inst)
+        assert is_valid(inst, p)
+        assert p.n_replicas == 1
+
+    def test_root_is_client(self):
+        # Degenerate one-node tree: the root itself is the client.
+        b = TreeBuilder()
+        b.add_root()
+        tree = b.build().with_requests([7])
+        inst = ProblemInstance(tree, 10, None, Policy.SINGLE)
+        p = single_gen(inst)
+        assert is_valid(inst, p)
+        assert p.replicas == frozenset({0})
+
+    def test_zero_demand_tree(self):
+        b = TreeBuilder()
+        r = b.add_root()
+        b.add(r, delta=1.0, requests=0)
+        inst = ProblemInstance(b.build(), 10, None, Policy.SINGLE)
+        p = single_gen(inst)
+        assert p.n_replicas == 0
+
+    def test_oversized_client_raises(self):
+        b = TreeBuilder()
+        r = b.add_root()
+        b.add(r, delta=1.0, requests=11)
+        inst = ProblemInstance(b.build(), 10, None, Policy.SINGLE)
+        with pytest.raises(InfeasibleInstanceError):
+            single_gen(inst)
+
+    def test_no_split_ever(self, paper_example):
+        p = single_gen(paper_example)
+        for c in paper_example.tree.clients:
+            assert len(p.servers_of(c)) <= 1
+
+
+class TestPlacementRules:
+    def test_distance_rule_forces_local_server(self):
+        # Client at distance 10 from its parent with dmax 5: the replica
+        # must sit on the client itself.
+        b = TreeBuilder()
+        r = b.add_root()
+        c = b.add(r, delta=10.0, requests=3)
+        inst = ProblemInstance(b.build(), 10, 5.0, Policy.SINGLE)
+        p = single_gen(inst)
+        assert p.replicas == frozenset({c})
+
+    def test_capacity_rule_splits_children(self):
+        # Root fan of three clients 4+4+4 > W=8: a replica per child.
+        b = TreeBuilder()
+        r = b.add_root()
+        cs = [b.add(r, delta=1.0, requests=4) for _ in range(3)]
+        inst = ProblemInstance(b.build(), 8, None, Policy.SINGLE)
+        p = single_gen(inst)
+        assert p.replicas == frozenset(cs)
+
+    def test_root_rule_consolidates(self):
+        # Total fits one server: everything rides to the root.
+        b = TreeBuilder()
+        r = b.add_root()
+        n = b.add(r, delta=1.0)
+        b.add(n, delta=1.0, requests=2)
+        b.add(n, delta=1.0, requests=3)
+        inst = ProblemInstance(b.build(), 10, None, Policy.SINGLE)
+        p = single_gen(inst)
+        assert p.replicas == frozenset({r})
+
+    def test_exact_distance_budget_passes_edge(self):
+        # Budget exactly equals the edge length: the paper uses a strict
+        # comparison, so the requests still travel.
+        b = TreeBuilder()
+        r = b.add_root()
+        n = b.add(r, delta=2.0)
+        b.add(n, delta=2.0, requests=1)
+        inst = ProblemInstance(b.build(), 10, 4.0, Policy.SINGLE)
+        p = single_gen(inst)
+        assert p.replicas == frozenset({r})
+
+    def test_budget_one_short_blocks_edge(self):
+        b = TreeBuilder()
+        r = b.add_root()
+        n = b.add(r, delta=2.0)
+        b.add(n, delta=2.5, requests=1)
+        inst = ProblemInstance(b.build(), 10, 4.0, Policy.SINGLE)
+        p = single_gen(inst)
+        assert p.replicas == frozenset({n})
+
+
+class TestTightFamily:
+    @pytest.mark.parametrize("m,arity", [(1, 2), (2, 2), (3, 2), (2, 3), (2, 4), (3, 3)])
+    def test_fig3_counts(self, m, arity):
+        inst, opt = single_gen_tight_instance(m, arity)
+        assert is_valid(inst, opt)
+        assert opt.n_replicas == m + 1
+        p = single_gen(inst)
+        assert is_valid(inst, p)
+        assert p.n_replicas == m * (arity + 1)
+
+    def test_fig3_ratio_approaches_bound(self):
+        arity = 3
+        ratios = []
+        for m in (1, 3, 6):
+            inst, opt = single_gen_tight_instance(m, arity)
+            p = single_gen(inst)
+            ratios.append(p.n_replicas / opt.n_replicas)
+        assert ratios == sorted(ratios)  # increasing in m
+        assert ratios[-1] > arity + 0.4  # approaching arity+1
+
+    def test_fig3_optimum_is_truly_optimal_small(self):
+        inst, opt = single_gen_tight_instance(1, 2)
+        assert exact_single(inst).n_replicas == opt.n_replicas
+
+
+class TestApproximationGuarantee:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_ratio_within_delta_plus_one(self, seed):
+        dmax = [None, 4.0, 8.0][seed % 3]
+        inst = random_tree(
+            4, 8, capacity=12, dmax=dmax, policy=Policy.SINGLE,
+            seed=seed, max_arity=3, request_range=(1, 12),
+        )
+        p = single_gen(inst)
+        assert is_valid(inst, p)
+        opt = exact_single(inst).n_replicas
+        bound = inst.tree.arity + (1 if dmax is not None else 0)
+        assert p.n_replicas <= bound * opt
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_valid_on_wide_trees(self, seed):
+        inst = random_tree(
+            6, 18, capacity=20, dmax=6.0, policy=Policy.SINGLE,
+            seed=seed, max_arity=6, request_range=(1, 15),
+        )
+        assert is_valid(inst, single_gen(inst))

@@ -1,0 +1,145 @@
+"""Tests for Algorithm 2 — single-nod (Theorem 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    InfeasibleInstanceError,
+    Policy,
+    PolicyError,
+    ProblemInstance,
+    TreeBuilder,
+    is_valid,
+    single_nod,
+)
+from repro.algorithms import exact_single
+from repro.instances import random_tree, single_nod_tight_instance
+
+
+class TestBasicBehaviour:
+    def test_requires_nod(self, paper_example):
+        with pytest.raises(PolicyError):
+            single_nod(paper_example)  # paper_example has dmax=4
+
+    def test_valid_on_example_nod(self, paper_example):
+        inst = paper_example.without_distance()
+        p = single_nod(inst)
+        assert is_valid(inst, p)
+
+    def test_oversized_client_raises(self):
+        b = TreeBuilder()
+        r = b.add_root()
+        b.add(r, delta=1.0, requests=11)
+        inst = ProblemInstance(b.build(), 10, None, Policy.SINGLE)
+        with pytest.raises(InfeasibleInstanceError):
+            single_nod(inst)
+
+    def test_root_is_client(self):
+        b = TreeBuilder()
+        b.add_root()
+        tree = b.build().with_requests([7])
+        inst = ProblemInstance(tree, 10, None, Policy.SINGLE)
+        p = single_nod(inst)
+        assert is_valid(inst, p)
+        assert p.replicas == frozenset({0})
+
+    def test_zero_demand(self):
+        b = TreeBuilder()
+        r = b.add_root()
+        b.add(r, delta=1.0, requests=0)
+        inst = ProblemInstance(b.build(), 10, None, Policy.SINGLE)
+        assert single_nod(inst).n_replicas == 0
+
+    def test_single_policy_respected(self, paper_example):
+        inst = paper_example.without_distance()
+        p = single_nod(inst)
+        for c in inst.tree.clients:
+            assert len(p.servers_of(c)) <= 1
+
+
+class TestPackingRules:
+    def test_aggregation_consolidates_to_root(self):
+        # Everything fits one server: single replica at the root.
+        b = TreeBuilder()
+        r = b.add_root()
+        n = b.add(r, delta=1.0)
+        b.add(n, delta=1.0, requests=2)
+        b.add(n, delta=1.0, requests=3)
+        inst = ProblemInstance(b.build(), 10, None, Policy.SINGLE)
+        p = single_nod(inst)
+        assert p.replicas == frozenset({r})
+
+    def test_smallest_entries_packed_at_overflow_node(self):
+        # Fan 1,2,9 with W=10: replica at root packs 1+2(+... up to W);
+        # 9 bursts the capacity and becomes its own replica (jmin rule).
+        b = TreeBuilder()
+        r = b.add_root()
+        c1 = b.add(r, delta=1.0, requests=1)
+        c2 = b.add(r, delta=1.0, requests=2)
+        c9 = b.add(r, delta=1.0, requests=9)
+        inst = ProblemInstance(b.build(), 10, None, Policy.SINGLE)
+        p = single_nod(inst)
+        assert is_valid(inst, p)
+        assert p.replicas == frozenset({r, c9})
+        assert p.servers_of(c1) == [r]
+        assert p.servers_of(c2) == [r]
+        assert p.servers_of(c9) == [c9]
+
+    def test_leftovers_reparent_and_pack_higher(self):
+        # At n: entries 6,6,6 -> n packs one 6, next 6 becomes jmin,
+        # last 6 re-parents to the root and packs there.
+        b = TreeBuilder()
+        r = b.add_root()
+        n = b.add(r, delta=1.0)
+        cs = [b.add(n, delta=1.0, requests=6) for _ in range(3)]
+        inst = ProblemInstance(b.build(), 7, None, Policy.SINGLE)
+        p = single_nod(inst)
+        assert is_valid(inst, p)
+        assert p.n_replicas == 3
+        # One client is served at the root (the re-parented leftover).
+        assert any(p.servers_of(c) == [r] for c in cs)
+
+
+class TestTightFamily:
+    @pytest.mark.parametrize("K", [2, 3, 5, 8, 12])
+    def test_fig4_counts(self, K):
+        inst, opt = single_nod_tight_instance(K)
+        assert is_valid(inst, opt)
+        assert opt.n_replicas == K + 1
+        p = single_nod(inst)
+        assert is_valid(inst, p)
+        assert p.n_replicas == 2 * K
+
+    def test_fig4_optimum_is_truly_optimal_small(self):
+        inst, opt = single_nod_tight_instance(3)
+        assert exact_single(inst).n_replicas == opt.n_replicas
+
+    def test_fig4_ratio_approaches_two(self):
+        ratios = [
+            single_nod(inst).n_replicas / opt.n_replicas
+            for inst, opt in (single_nod_tight_instance(K) for K in (2, 6, 15))
+        ]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > 1.85
+
+
+class TestApproximationGuarantee:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_ratio_within_two(self, seed):
+        inst = random_tree(
+            4, 8, capacity=12, dmax=None, policy=Policy.SINGLE,
+            seed=seed, max_arity=3, request_range=(1, 12),
+        )
+        p = single_nod(inst)
+        assert is_valid(inst, p)
+        opt = exact_single(inst).n_replicas
+        assert p.n_replicas <= 2 * opt
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_valid_on_wide_trees(self, seed):
+        inst = random_tree(
+            6, 18, capacity=20, dmax=None, policy=Policy.SINGLE,
+            seed=seed, max_arity=6, request_range=(1, 15),
+        )
+        assert is_valid(inst, single_nod(inst))

@@ -1,0 +1,104 @@
+"""Tests for the future-work heuristics (repro.algorithms.single_push)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    InfeasibleInstanceError,
+    Policy,
+    PolicyError,
+    ProblemInstance,
+    TreeBuilder,
+    is_valid,
+    single_nod,
+    single_nod_bestfit,
+    single_push,
+)
+from repro.algorithms import exact_single
+from repro.instances import random_tree, single_nod_tight_instance
+
+
+class TestBestFitVariant:
+    def test_requires_nod(self, paper_example):
+        with pytest.raises(PolicyError):
+            single_nod_bestfit(paper_example)
+
+    def test_oversized_client(self):
+        b = TreeBuilder()
+        r = b.add_root()
+        b.add(r, delta=1.0, requests=11)
+        inst = ProblemInstance(b.build(), 10, None, Policy.SINGLE)
+        with pytest.raises(InfeasibleInstanceError):
+            single_nod_bestfit(inst)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_always_valid(self, seed):
+        inst = random_tree(
+            5, 10, capacity=12, dmax=None, policy=Policy.SINGLE,
+            seed=seed, max_arity=4,
+        )
+        assert is_valid(inst, single_nod_bestfit(inst))
+
+    def test_beats_smallest_first_on_fig4(self):
+        """On the paper's own tight family, best-fit packing fixes the
+        pathology: it packs the K-demand client at n_i and lets the
+        1-demand clients consolidate upward."""
+        inst, opt = single_nod_tight_instance(6)
+        sf = single_nod(inst)
+        bf = single_nod_bestfit(inst)
+        assert is_valid(inst, bf)
+        assert sf.n_replicas == 12
+        assert bf.n_replicas < sf.n_replicas
+        assert bf.n_replicas == opt.n_replicas  # K+1 here
+
+    def test_not_uniformly_better(self):
+        """Best-fit has no ratio proof; on some instances it ties or
+        loses — both are recorded, neither may be invalid."""
+        wins = losses = 0
+        for seed in range(12):
+            inst = random_tree(
+                4, 8, capacity=12, dmax=None, policy=Policy.SINGLE,
+                seed=seed, max_arity=3, request_range=(1, 12),
+            )
+            sf = single_nod(inst).n_replicas
+            bf = single_nod_bestfit(inst).n_replicas
+            wins += bf < sf
+            losses += bf > sf
+        assert wins + losses >= 0  # bookkeeping only; no crash is the test
+
+
+class TestSinglePush:
+    def test_requires_nod(self, paper_example):
+        with pytest.raises(PolicyError):
+            single_push(paper_example)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_never_worse_than_single_nod(self, seed):
+        inst = random_tree(
+            5, 10, capacity=12, dmax=None, policy=Policy.SINGLE,
+            seed=seed, max_arity=3,
+        )
+        p = single_push(inst)
+        assert is_valid(inst, p)
+        assert p.n_replicas <= single_nod(inst).n_replicas
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_observed_ratio_within_three_halves(self, seed):
+        """The paper conjectures a 3/2-approximation exists for
+        Single-NoD-Bin; single_push is the sketched direction and stays
+        within 3/2 on this sweep (measured, not proven)."""
+        inst = random_tree(
+            8, 8, capacity=12, dmax=None, policy=Policy.SINGLE,
+            seed=seed, max_arity=2, request_range=(1, 12),
+        )
+        p = single_push(inst)
+        opt = exact_single(inst).n_replicas
+        assert p.n_replicas <= 1.5 * opt + 1e-9
+
+    def test_improves_fig4_family(self):
+        inst, opt = single_nod_tight_instance(8)
+        p = single_push(inst)
+        assert is_valid(inst, p)
+        # Local search merges the 1-demand clients at the root.
+        assert p.n_replicas < single_nod(inst).n_replicas
