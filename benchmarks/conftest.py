@@ -6,11 +6,45 @@ DESIGN.md's experiment index: it prints a paper-vs-measured table
 qualitative claim, and times the central computation with
 pytest-benchmark.  Measured values are also attached to
 ``benchmark.extra_info`` so they appear in ``--benchmark-json`` output.
+
+Solver enumeration goes through :mod:`repro.runner` — benchmarks that
+want "every Single heuristic" or "all exact solvers" ask the registry
+(:func:`solver_specs` / the ``solver_registry`` fixture) instead of
+hard-coding import lists, so newly registered solvers are picked up by
+the harness automatically.
 """
 
 from __future__ import annotations
 
 import pytest
+
+
+def solver_specs(policy=None, *, exact=None):
+    """Registered solver specs, optionally filtered by policy/exactness.
+
+    ``policy`` accepts a :class:`repro.core.policies.Policy`, the
+    strings ``"single"``/``"multiple"``, or ``None`` for all.
+    """
+    from repro.core.policies import Policy
+    from repro.runner import available_solvers
+
+    if isinstance(policy, str):
+        policy = Policy(policy)
+    specs = available_solvers()
+    if policy is not None:
+        specs = [s for s in specs if s.policy in (None, policy)]
+    if exact is not None:
+        specs = [s for s in specs if s.exact is exact]
+    return specs
+
+
+@pytest.fixture(scope="session")
+def solver_registry():
+    """The solver registry module, with built-in solvers registered."""
+    from repro.runner import registry
+
+    registry.ensure_builtin_solvers()
+    return registry
 
 
 def emit(table) -> None:

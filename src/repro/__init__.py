@@ -55,8 +55,15 @@ from .core import (
     lower_bound,
     placement_violations,
 )
+from .runner import (
+    SolveResult,
+    available_solvers,
+    register_solver,
+    solvers_for,
+)
+from .runner import solve as solve_registered
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -87,6 +94,12 @@ __all__ = [
     "single_greedy_packing",
     "multiple_greedy",
     "improve_single",
+    # solver registry
+    "SolveResult",
+    "register_solver",
+    "available_solvers",
+    "solvers_for",
+    "solve_registered",
     # errors
     "ReproError",
     "InvalidTreeError",

@@ -32,6 +32,7 @@ from ..core.errors import InfeasibleInstanceError, SolverError
 from ..core.instance import ProblemInstance
 from ..core.placement import Placement
 from ..core.policies import Policy
+from ..runner.registry import register_solver
 from .feasibility import multiple_assignment
 from .single_gen import single_gen
 
@@ -50,13 +51,25 @@ def _candidate_servers(instance: ProblemInstance) -> List[int]:
     return sorted(cands)
 
 
+@register_solver(
+    "exact-single",
+    policy=Policy.SINGLE,
+    exact=True,
+    budget_kwarg="node_budget",
+    stats_kwarg="stats",
+    description="Branch-and-bound optimum for the Single policy",
+)
 def exact_single(
-    instance: ProblemInstance, node_budget: int = 5_000_000
+    instance: ProblemInstance,
+    node_budget: int = 5_000_000,
+    stats: Optional[Dict[str, int]] = None,
 ) -> Placement:
     """Optimal Single placement by branch-and-bound over clients.
 
     Exponential worst case (the problem is strongly NP-hard); intended
-    for instances with up to roughly 20 demanding clients.
+    for instances with up to roughly 20 demanding clients.  When a
+    ``stats`` dict is supplied it receives the ``nodes_expanded``
+    counter on return (including budget-exhausted exits).
     """
     tree = instance.tree
     W = instance.capacity
@@ -137,7 +150,11 @@ def exact_single(
             dfs(k + 1)
             del load[s]
 
-    dfs(0)
+    try:
+        dfs(0)
+    finally:
+        if stats is not None:
+            stats["nodes_expanded"] = node_budget - budget[0]
     if exhausted[0] and best_count[0] > glb:
         raise SolverError(
             "exact_single: search budget exhausted before proving optimality"
@@ -153,8 +170,18 @@ def exact_single(
     return Placement(replicas, assignments)
 
 
+@register_solver(
+    "exact-multiple",
+    policy=Policy.MULTIPLE,
+    exact=True,
+    budget_kwarg="subset_budget",
+    stats_kwarg="stats",
+    description="Subset-enumeration + max-flow optimum for Multiple",
+)
 def exact_multiple(
-    instance: ProblemInstance, subset_budget: int = 5_000_000
+    instance: ProblemInstance,
+    subset_budget: int = 5_000_000,
+    stats: Optional[Dict[str, int]] = None,
 ) -> Placement:
     """Optimal Multiple placement by replica-count iteration + max flow.
 
@@ -177,25 +204,47 @@ def exact_multiple(
     # only when r_i <= k_i * W locally... the all-local set may need
     # helpers; the full candidate set is always feasible if anything is.
     explored = 0
-    for k in range(lb, len(cands) + 1):
-        for subset in combinations(cands, k):
-            explored += 1
-            if explored > subset_budget:
-                raise SolverError(
-                    "exact_multiple: subset budget exhausted before "
-                    "proving optimality"
-                )
-            assign = multiple_assignment(instance, subset)
-            if assign is not None:
-                used = set(subset)
-                return Placement(used, assign)
+    try:
+        for k in range(lb, len(cands) + 1):
+            for subset in combinations(cands, k):
+                explored += 1
+                if explored > subset_budget:
+                    raise SolverError(
+                        "exact_multiple: subset budget exhausted before "
+                        "proving optimality"
+                    )
+                assign = multiple_assignment(instance, subset)
+                if assign is not None:
+                    used = set(subset)
+                    return Placement(used, assign)
+    finally:
+        if stats is not None:
+            stats["subsets_explored"] = explored
     raise InfeasibleInstanceError(
         "no replica subset (even all candidates) can serve all demands"
     )
 
 
-def exact_optimal(instance: ProblemInstance, **kwargs) -> Placement:
-    """Optimal placement for the instance's policy (dispatch helper)."""
+@register_solver(
+    "exact",
+    exact=True,
+    budget_kwarg="budget",
+    stats_kwarg="stats",
+    description="Policy-dispatching exact optimum (Single or Multiple)",
+)
+def exact_optimal(
+    instance: ProblemInstance, budget: Optional[int] = None, **kwargs
+) -> Placement:
+    """Optimal placement for the instance's policy (dispatch helper).
+
+    ``budget`` maps to whichever budget the dispatched solver takes
+    (``node_budget`` / ``subset_budget``), so callers that don't know
+    the policy — the sweep runner's ``--budget`` flag — cap both.
+    """
     if instance.policy is Policy.SINGLE:
+        if budget is not None:
+            kwargs.setdefault("node_budget", budget)
         return exact_single(instance, **kwargs)
+    if budget is not None:
+        kwargs.setdefault("subset_budget", budget)
     return exact_multiple(instance, **kwargs)

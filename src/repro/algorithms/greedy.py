@@ -30,10 +30,16 @@ from typing import Dict, List, Tuple
 from ..core.errors import InfeasibleInstanceError
 from ..core.instance import ProblemInstance
 from ..core.placement import Placement
+from ..core.policies import Policy
+from ..runner.registry import register_solver
 
 __all__ = ["local_placement", "single_greedy_packing", "multiple_greedy"]
 
 
+@register_solver(
+    "local",
+    description="Baseline: every demanding client hosts its own replica",
+)
 def local_placement(instance: ProblemInstance) -> Placement:
     """Every demanding client hosts its own replica (``R = C``)."""
     tree = instance.tree
@@ -47,6 +53,11 @@ def local_placement(instance: ProblemInstance) -> Placement:
     return Placement(replicas, assignments)
 
 
+@register_solver(
+    "greedy-packing",
+    policy=Policy.SINGLE,
+    description="Strawman Single heuristic: highest eligible open server",
+)
 def single_greedy_packing(instance: ProblemInstance) -> Placement:
     """Naive Single heuristic: highest eligible open server, else open one.
 
@@ -97,6 +108,11 @@ def single_greedy_packing(instance: ProblemInstance) -> Placement:
     return Placement(load.keys(), assignments)
 
 
+@register_solver(
+    "multiple-greedy",
+    policy=Policy.MULTIPLE,
+    description="Any-arity Multiple heuristic in Algorithm 3 style",
+)
 def multiple_greedy(instance: ProblemInstance) -> Placement:
     """Any-arity Multiple heuristic in the style of Algorithm 3.
 

@@ -77,11 +77,13 @@ def improve_single(
     instance: ProblemInstance,
     placement: Placement,
     max_rounds: int = 100,
+    stats: Optional[Dict[str, int]] = None,
 ) -> Placement:
     """Iteratively shrink a Single placement (close + merge moves).
 
     Returns a placement with ``n_replicas`` less than or equal to the
-    input's.  The input is not modified.
+    input's.  The input is not modified.  A supplied ``stats`` dict
+    receives the number of improvement ``rounds`` executed.
     """
     tree = instance.tree
     W = instance.capacity
@@ -126,7 +128,9 @@ def improve_single(
         load[target] = load.get(target, 0) + combined
         return True
 
+    rounds = 0
     for _round in range(max_rounds):
+        rounds += 1
         improved = False
         # Try closing the least-loaded replicas first.
         for victim in sorted(load, key=lambda s: load[s]):
@@ -146,6 +150,9 @@ def improve_single(
             improved = apply_merge()
         if not improved:
             break
+
+    if stats is not None:
+        stats["rounds"] = rounds
 
     assignments = {(c, s): tree.requests(c) for c, s in assign.items()}
     return Placement(load.keys(), assignments)

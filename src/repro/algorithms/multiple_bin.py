@@ -45,6 +45,8 @@ from ..core.errors import (
 )
 from ..core.instance import ProblemInstance
 from ..core.placement import Placement
+from ..core.policies import Policy
+from ..runner.registry import register_solver
 
 __all__ = ["multiple_bin"]
 
@@ -74,6 +76,13 @@ def _add_dist(lst: List[_Triple], dist: float) -> List[_Triple]:
     return [(d + dist, w, i) for (d, w, i) in lst]
 
 
+@register_solver(
+    "multiple-bin",
+    policy=Policy.MULTIPLE,
+    binary_only=True,
+    exact=True,
+    description="Algorithm 3: optimal on binary trees when r_i <= W",
+)
 def multiple_bin(instance: ProblemInstance) -> Placement:
     """Run Algorithm 3 on ``instance`` and return an optimal placement.
 

@@ -43,6 +43,8 @@ from typing import Dict, List, Optional, Tuple
 from ..core.errors import PolicyError
 from ..core.instance import ProblemInstance
 from ..core.placement import Placement
+from ..core.policies import Policy
+from ..runner.registry import register_solver
 
 __all__ = ["multiple_nod_dp"]
 
@@ -72,6 +74,13 @@ def _min_plus(
     return out, arg
 
 
+@register_solver(
+    "multiple-nod-dp",
+    policy=Policy.MULTIPLE,
+    needs_nod=True,
+    exact=True,
+    description="Knapsack DP: optimal Multiple-NoD on any arity",
+)
 def multiple_nod_dp(instance: ProblemInstance) -> Placement:
     """Optimal Multiple-NoD placement by dynamic programming.
 

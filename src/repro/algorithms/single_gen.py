@@ -38,10 +38,17 @@ from typing import Dict, List, Tuple
 from ..core.errors import InfeasibleInstanceError
 from ..core.instance import ProblemInstance
 from ..core.placement import Placement
+from ..core.policies import Policy
+from ..runner.registry import register_solver
 
 __all__ = ["single_gen"]
 
 
+@register_solver(
+    "single-gen",
+    policy=Policy.SINGLE,
+    description="Algorithm 1: (Δ+1)-approximation, any arity, with dmax",
+)
 def single_gen(instance: ProblemInstance) -> Placement:
     """Run Algorithm 1 on ``instance`` and return a full placement.
 

@@ -37,6 +37,8 @@ from typing import Dict, List, Tuple
 from ..core.errors import InfeasibleInstanceError, PolicyError
 from ..core.instance import ProblemInstance
 from ..core.placement import Placement
+from ..core.policies import Policy
+from ..runner.registry import register_solver
 
 __all__ = ["single_nod"]
 
@@ -55,6 +57,12 @@ class _Entry:
     bundle: List[Tuple[int, int]] = field(default_factory=list)
 
 
+@register_solver(
+    "single-nod",
+    policy=Policy.SINGLE,
+    needs_nod=True,
+    description="Algorithm 2: 2-approximation for Single-NoD",
+)
 def single_nod(instance: ProblemInstance) -> Placement:
     """Run Algorithm 2 on ``instance`` and return a full placement.
 

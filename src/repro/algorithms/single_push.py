@@ -26,11 +26,13 @@ they are measured, not claimed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.errors import InfeasibleInstanceError, PolicyError
 from ..core.instance import ProblemInstance
 from ..core.placement import Placement
+from ..core.policies import Policy
+from ..runner.registry import register_solver
 from .local_search import improve_single
 from .single_nod import single_nod
 
@@ -44,6 +46,12 @@ class _Entry:
     bundle: List[Tuple[int, int]] = field(default_factory=list)
 
 
+@register_solver(
+    "single-nod-bestfit",
+    policy=Policy.SINGLE,
+    needs_nod=True,
+    description="Algorithm 2 with best-fit-decreasing overflow packing",
+)
 def single_nod_bestfit(instance: ProblemInstance) -> Placement:
     """Algorithm 2 with best-fit-decreasing packing at overflow nodes.
 
@@ -134,11 +142,20 @@ def single_nod_bestfit(instance: ProblemInstance) -> Placement:
     return Placement(replicas, assignments)
 
 
-def single_push(instance: ProblemInstance) -> Placement:
+@register_solver(
+    "single-push",
+    policy=Policy.SINGLE,
+    needs_nod=True,
+    stats_kwarg="stats",
+    description="single-nod + close/merge local search (measured 3/2)",
+)
+def single_push(
+    instance: ProblemInstance, stats: Optional[Dict[str, int]] = None
+) -> Placement:
     """The paper's sketched 3/2 direction: greedy pass + root pushing.
 
     Runs :func:`single_nod`, then the close/merge local search, which
     relocates mergeable replicas toward common ancestors.  Measured (not
     proven) to stay within 3/2 of the optimum on the E11 sweep.
     """
-    return improve_single(instance, single_nod(instance))
+    return improve_single(instance, single_nod(instance), stats=stats)

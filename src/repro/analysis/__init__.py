@@ -1,12 +1,19 @@
 """Measurement harness: ratios, scaling, experiment tables."""
 
 from .complexity import ScalingPoint, ScalingResult, fit_power_law, measure_scaling
-from .experiments import ExperimentRow, ExperimentTable
+from .experiments import (
+    ExperimentRow,
+    ExperimentTable,
+    SolverSummary,
+    render_sweep_table,
+    summarize_sweep,
+)
 from .ratios import RatioReport, RatioSample, measure_ratios, policy_gap
 from .report import (
     full_report,
     optimality_report,
     reduction_report,
+    sweep_report,
     tight_family_report,
 )
 from .sensitivity import (
@@ -28,6 +35,10 @@ __all__ = [
     "fit_power_law",
     "ExperimentRow",
     "ExperimentTable",
+    "SolverSummary",
+    "summarize_sweep",
+    "render_sweep_table",
+    "sweep_report",
     "full_report",
     "tight_family_report",
     "optimality_report",

@@ -3,14 +3,27 @@
 Small utilities shared by the benchmark harness and the examples to
 print paper-style tables: aligned columns, a ``paper`` column next to a
 ``measured`` column, and a pass/fail verdict on the qualitative claim.
+
+This module also aggregates persisted sweep results
+(:class:`~repro.runner.result.SolveResult` rows from the JSON-lines
+store) into per-solver summaries — the backend of ``repro compare``.
 """
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
-__all__ = ["ExperimentRow", "ExperimentTable"]
+from ..runner.result import SolveResult, Status
+
+__all__ = [
+    "ExperimentRow",
+    "ExperimentTable",
+    "SolverSummary",
+    "summarize_sweep",
+    "render_sweep_table",
+]
 
 
 @dataclass(frozen=True)
@@ -56,3 +69,100 @@ class ExperimentTable:
             f"({sum(r.ok for r in self.rows)}/{len(self.rows)} rows)"
         )
         return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Sweep aggregation (solver-vs-solver, across a persisted result store)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SolverSummary:
+    """Aggregate of one solver's rows across a sweep."""
+
+    solver: str
+    runs: int = 0
+    solved: int = 0
+    invalid: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    skipped: int = 0  # inapplicable / infeasible / budget rows
+    total_replicas: int = 0
+    wins: int = 0  # instances where this solver matched the best |R|
+    mean_ratio: Optional[float] = None  # |R| / best known |R|, mean
+    total_time: float = 0.0
+
+    @property
+    def mean_time(self) -> float:
+        return self.total_time / self.solved if self.solved else 0.0
+
+
+def summarize_sweep(results: Iterable[SolveResult]) -> List[SolverSummary]:
+    """Per-solver aggregates over sweep rows.
+
+    ``mean_ratio`` compares each solver's objective to the best valid
+    objective *any* solver achieved on the same (instance, seed) — an
+    empirical competitive ratio on the shared corpus.  Sorted best mean
+    ratio first, unsolved-only solvers last.
+    """
+    rows = list(results)
+    best: Dict[str, int] = {}
+    for r in rows:
+        if r.ok and r.n_replicas is not None:
+            ikey = f"{r.instance}@{r.seed}"
+            cur = best.get(ikey)
+            if cur is None or r.n_replicas < cur:
+                best[ikey] = r.n_replicas
+
+    summaries: Dict[str, SolverSummary] = {}
+    ratios: Dict[str, List[float]] = defaultdict(list)
+    for r in rows:
+        s = summaries.setdefault(r.solver, SolverSummary(r.solver))
+        s.runs += 1
+        if r.ok:
+            s.solved += 1
+            s.total_replicas += r.n_replicas or 0
+            s.total_time += r.wall_time
+            b = best.get(f"{r.instance}@{r.seed}")
+            if b is not None:
+                if r.n_replicas == b:
+                    s.wins += 1
+                if b > 0:
+                    ratios[r.solver].append((r.n_replicas or 0) / b)
+                elif r.n_replicas == 0:
+                    ratios[r.solver].append(1.0)  # 0/0: tied with the best
+        elif r.status == Status.INVALID:
+            s.invalid += 1
+        elif r.status == Status.TIMEOUT:
+            s.timeouts += 1
+        elif r.status == Status.ERROR:
+            s.errors += 1
+        else:  # inapplicable / infeasible / budget
+            s.skipped += 1
+    for name, rs in ratios.items():
+        summaries[name].mean_ratio = sum(rs) / len(rs)
+
+    def sort_key(s: SolverSummary):
+        return (s.solved == 0, s.mean_ratio if s.mean_ratio is not None else 1e9, s.solver)
+
+    return sorted(summaries.values(), key=sort_key)
+
+
+def render_sweep_table(results: Iterable[SolveResult]) -> str:
+    """Aligned solver-vs-solver text table over sweep rows."""
+    summaries = summarize_sweep(list(results))
+    if not summaries:
+        return "(no sweep results)"
+    head = (
+        f"{'solver':<20} {'ok':>4} {'wins':>5} {'ratio':>7} {'|R| tot':>8} "
+        f"{'t/solve':>9} {'inval':>6} {'t/o':>4} {'err':>4} {'skip':>5}"
+    )
+    lines = [head, "-" * len(head)]
+    for s in summaries:
+        ratio = f"{s.mean_ratio:.3f}" if s.mean_ratio is not None else "—"
+        lines.append(
+            f"{s.solver:<20} {s.solved:>4} {s.wins:>5} {ratio:>7} "
+            f"{s.total_replicas:>8} {s.mean_time * 1e3:>7.1f}ms "
+            f"{s.invalid:>6} {s.timeouts:>4} {s.errors:>4} {s.skipped:>5}"
+        )
+    return "\n".join(lines)

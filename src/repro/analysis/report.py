@@ -41,8 +41,48 @@ __all__ = [
     "tight_family_report",
     "optimality_report",
     "reduction_report",
+    "sweep_report",
     "full_report",
 ]
+
+
+def sweep_report(results) -> str:
+    """Markdown section summarising persisted sweep results.
+
+    ``results`` is an iterable of :class:`~repro.runner.result.SolveResult`
+    (typically ``ResultStore(path).latest().values()``), so the report
+    regenerates from the same JSON-lines rows that ``repro compare``
+    reads — no ad-hoc dicts in between.
+    """
+    from .experiments import summarize_sweep
+
+    rows = list(results)
+    summaries = summarize_sweep(rows)
+    lines = ["## Solver sweep", ""]
+    if not summaries:
+        lines.append("_(empty result store)_")
+        lines.append("")
+        return "\n".join(lines)
+    n_instances = len({f"{r.instance}@{r.seed}" for r in rows})
+    lines.append(
+        f"{len(rows)} rows over {n_instances} instances and "
+        f"{len(summaries)} solvers."
+    )
+    lines.append("")
+    lines.append(
+        "| solver | solved | wins | mean ratio | mean time (ms) "
+        "| timeouts | errors |"
+    )
+    lines.append("|--------|-------:|-----:|-----------:|---------------:"
+                 "|---------:|-------:|")
+    for s in summaries:
+        ratio = f"{s.mean_ratio:.3f}" if s.mean_ratio is not None else "—"
+        lines.append(
+            f"| {s.solver} | {s.solved}/{s.runs} | {s.wins} | {ratio} "
+            f"| {s.mean_time * 1e3:.1f} | {s.timeouts} | {s.errors} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
 
 
 def tight_family_report(max_m: int = 6, arity: int = 3, max_k: int = 20) -> str:

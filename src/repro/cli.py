@@ -2,15 +2,23 @@
 
 Subcommands::
 
-    replica-placement generate --kind random --internal 20 --clients 40 \\
+    repro generate --kind random --internal 20 --clients 40 \\
         --capacity 50 --dmax 6 --out inst.json
-    replica-placement solve inst.json --algorithm single-gen
-    replica-placement check inst.json placement.json
-    replica-placement render inst.json [placement.json]
-    replica-placement info inst.json
+    repro solve inst.json --algorithm single-gen
+    repro check inst.json placement.json
+    repro render inst.json [placement.json]
+    repro info inst.json
+    repro sweep --out sweep.jsonl --workers 4
+    repro compare --store sweep.jsonl
 
 ``solve`` writes the placement JSON to stdout (or ``--out``) and prints
 a summary to stderr, so pipelines can chain ``solve | check``.
+``sweep`` fans the default instance corpus across the registered
+solvers in parallel and persists JSON-lines results; ``compare``
+renders a solver-vs-solver table either live on one instance or from a
+persisted sweep store.  Solvers come exclusively from the registry in
+:mod:`repro.runner` — registering a new solver makes it available to
+every verb with no CLI change.
 """
 
 from __future__ import annotations
@@ -18,19 +26,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Callable, Dict
 
-from .algorithms import (
-    exact_optimal,
-    local_placement,
-    multiple_bin,
-    multiple_greedy,
-    single_gen,
-    single_greedy_packing,
-    single_nod,
-    single_push,
-)
-from .core import Placement, ProblemInstance, lower_bound, placement_violations
+from .core import lower_bound, placement_violations
+from .runner import registry
 from .instances import (
     broom,
     caterpillar,
@@ -48,16 +46,10 @@ from .instances import (
 
 __all__ = ["main"]
 
-ALGORITHMS: Dict[str, Callable[[ProblemInstance], Placement]] = {
-    "single-gen": single_gen,
-    "single-nod": single_nod,
-    "single-push": single_push,
-    "multiple-bin": multiple_bin,
-    "multiple-greedy": multiple_greedy,
-    "greedy-packing": single_greedy_packing,
-    "local": local_placement,
-    "exact": exact_optimal,
-}
+
+def _algorithm_names() -> list:
+    """Registered solver names (the registry is the single source)."""
+    return [s.name for s in registry.available_solvers()]
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -92,7 +84,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     inst = load_instance(args.instance)
-    solver = ALGORITHMS[args.algorithm]
+    solver = registry.get_solver(args.algorithm).fn
     placement = solver(inst)
     problems = placement_violations(inst, placement)
     data = placement_to_dict(placement)
@@ -180,12 +172,33 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    if args.store:
+        from .analysis import render_sweep_table
+        from .runner import ResultStore
+
+        if args.instance:
+            print(
+                "compare: give either an instance file or --store, not both",
+                file=sys.stderr,
+            )
+            return 2
+        results = list(ResultStore(args.store).latest().values())
+        if not results:
+            print(f"no results in {args.store}", file=sys.stderr)
+            return 1
+        n_inst = len({f"{r.instance}@{r.seed}" for r in results})
+        print(f"{len(results)} rows, {n_inst} instances  ({args.store})")
+        print(render_sweep_table(results))
+        return 0
+    if not args.instance:
+        print("compare: give an instance file or --store", file=sys.stderr)
+        return 2
     inst = load_instance(args.instance)
     lb = lower_bound(inst)
     print(f"{'algorithm':<16} {'replicas':>9} {'valid':>6}   (lower bound {lb})")
     rc = 0
     for name in args.algorithms:
-        solver = ALGORITHMS[name]
+        solver = registry.get_solver(name).fn
         try:
             placement = solver(inst)
         except Exception as exc:  # noqa: BLE001 - report per-algorithm
@@ -201,10 +214,63 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return rc
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis import render_sweep_table
+    from .runner import (
+        ResultStore,
+        default_corpus,
+        run_sweep,
+        tasks_for_corpus,
+    )
+
+    corpus = default_corpus(limit=args.limit, seed0=args.seed)
+    solvers = args.solvers or None
+    tasks = tasks_for_corpus(
+        corpus, solvers, budget=args.budget, timeout=args.timeout
+    )
+    if not tasks:
+        print("sweep: no applicable (solver, instance) pairs", file=sys.stderr)
+        return 1
+    store = ResultStore(args.out) if args.out else None
+
+    def _progress(res) -> None:
+        if args.verbose:
+            n = res.n_replicas if res.n_replicas is not None else "—"
+            print(
+                f"  {res.key:<50} {res.status:<12} |R|={n} "
+                f"{res.wall_time * 1e3:7.1f}ms",
+                file=sys.stderr,
+            )
+
+    retry = ("error", "timeout") if args.retry_timeouts else ("error",)
+    outcome = run_sweep(
+        tasks,
+        workers=args.workers,
+        store=store,
+        resume=not args.no_resume,
+        retry_statuses=retry,
+        on_result=_progress,
+    )
+    print(
+        f"sweep: {len(corpus)} instances, {outcome.n_run} tasks run, "
+        f"{outcome.n_skipped} resumed from store"
+        + (f" -> {args.out}" if args.out else ""),
+        file=sys.stderr,
+    )
+    print(render_sweep_table(outcome.results))
+    bad = [r for r in outcome.results if r.status in ("invalid", "error")]
+    return 1 if bad else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis import full_report
 
     text = full_report()
+    if args.sweep:
+        from .analysis import sweep_report
+        from .runner import ResultStore
+
+        text = text + "\n" + sweep_report(ResultStore(args.sweep).latest().values())
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(text)
@@ -216,10 +282,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
-        prog="replica-placement",
+        prog="repro",
         description="Replica placement with distance constraints in trees",
     )
     sub = p.add_subparsers(dest="command", required=True)
+    algorithm_names = sorted(_algorithm_names())
 
     g = sub.add_parser("generate", help="generate an instance")
     g.add_argument(
@@ -239,7 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
     s = sub.add_parser("solve", help="solve an instance")
     s.add_argument("instance")
     s.add_argument(
-        "--algorithm", choices=sorted(ALGORITHMS), default="single-gen"
+        "--algorithm", choices=algorithm_names, default="single-gen"
     )
     s.add_argument("--out", default=None)
     s.set_defaults(func=_cmd_solve)
@@ -269,25 +336,77 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=0)
     sim.set_defaults(func=_cmd_simulate)
 
-    cmp_ = sub.add_parser("compare", help="run several algorithms")
-    cmp_.add_argument("instance")
+    cmp_ = sub.add_parser(
+        "compare",
+        help="run several algorithms on one instance, or summarise a "
+        "persisted sweep store",
+    )
+    cmp_.add_argument("instance", nargs="?", default=None)
     cmp_.add_argument(
-        "--algorithms", nargs="+", choices=sorted(ALGORITHMS),
+        "--algorithms", nargs="+", choices=algorithm_names,
         default=["single-gen", "greedy-packing", "local"],
     )
+    cmp_.add_argument(
+        "--store", default=None,
+        help="JSON-lines sweep store to summarise instead of solving live",
+    )
     cmp_.set_defaults(func=_cmd_compare)
+
+    sw = sub.add_parser(
+        "sweep",
+        help="fan the default corpus across registered solvers in parallel",
+    )
+    sw.add_argument(
+        "--out", default=None,
+        help="JSON-lines result store (sweeps resume from it by default)",
+    )
+    sw.add_argument(
+        "--solvers", nargs="+", choices=algorithm_names, default=None,
+        help="subset of solvers (default: every applicable registered solver)",
+    )
+    sw.add_argument("--limit", type=int, default=None,
+                    help="truncate the corpus to its first N instances")
+    sw.add_argument("--workers", type=int, default=1,
+                    help="worker processes (1 = run inline)")
+    sw.add_argument("--timeout", type=float, default=60.0,
+                    help="per-task timeout in seconds (0 disables)")
+    sw.add_argument("--budget", type=int, default=None,
+                    help="search budget forwarded to exact solvers")
+    sw.add_argument("--seed", type=int, default=0,
+                    help="corpus seed offset (distinct sweeps, distinct instances)")
+    sw.add_argument("--no-resume", action="store_true",
+                    help="recompute rows already present in --out")
+    sw.add_argument("--retry-timeouts", action="store_true",
+                    help="also recompute stored timeout rows (crashed "
+                    "'error' rows are always retried)")
+    sw.add_argument("--verbose", action="store_true",
+                    help="stream one line per completed task to stderr")
+    sw.set_defaults(func=_cmd_sweep)
 
     rep = sub.add_parser(
         "report", help="regenerate the paper's headline numbers"
     )
     rep.add_argument("--out", default=None)
+    rep.add_argument(
+        "--sweep", default=None,
+        help="append a sweep summary section from this JSON-lines store",
+    )
     rep.set_defaults(func=_cmd_report)
     return p
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream consumer (head, grep -m, ...) closed the pipe:
+        # normal in `repro ... | head` pipelines, not an error.  Detach
+        # stdout so the interpreter's shutdown flush cannot raise again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -2,7 +2,15 @@
 
 from .ascii import render_placement_summary, render_tree
 from .families import binomial, cdn_hierarchy, full_kary, zipf_demands
-from .generators import broom, caterpillar, random_binary_tree, random_tree, star
+from .generators import (
+    GENERATORS,
+    broom,
+    caterpillar,
+    make_instance,
+    random_binary_tree,
+    random_tree,
+    star,
+)
 from .io import (
     dump_instance,
     instance_from_dict,
@@ -20,6 +28,8 @@ __all__ = [
     "caterpillar",
     "broom",
     "star",
+    "GENERATORS",
+    "make_instance",
     "full_kary",
     "binomial",
     "cdn_hierarchy",

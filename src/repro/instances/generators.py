@@ -22,7 +22,7 @@ Topologies:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Dict, Mapping, Optional
 
 import numpy as np
 
@@ -36,6 +36,8 @@ __all__ = [
     "caterpillar",
     "broom",
     "star",
+    "GENERATORS",
+    "make_instance",
 ]
 
 
@@ -221,6 +223,64 @@ def broom(
     return ProblemInstance(
         b.build(), capacity, dmax, policy, name=f"broom({handle},{n_clients})"
     )
+
+
+# ----------------------------------------------------------------------
+# Spec-based construction (used by the sweep runner, whose tasks must be
+# picklable and regenerate instances deterministically inside workers).
+# ----------------------------------------------------------------------
+
+#: Generator name -> callable, for :func:`make_instance` specs.  The
+#: runner's corpus and any user-supplied sweep configuration reference
+#: generators by these names.
+GENERATORS: Dict[str, Callable[..., ProblemInstance]] = {}
+
+
+def _register_generators() -> None:
+    from .families import binomial, cdn_hierarchy, full_kary
+
+    GENERATORS.update(
+        random_tree=random_tree,
+        random_binary_tree=random_binary_tree,
+        caterpillar=caterpillar,
+        broom=broom,
+        star=star,
+        full_kary=full_kary,
+        binomial=binomial,
+        cdn_hierarchy=cdn_hierarchy,
+    )
+
+
+def make_instance(spec: Mapping) -> ProblemInstance:
+    """Build an instance from a plain-dict spec.
+
+    A spec is ``{"kind": <generator name>, "name": <id>, **params}``;
+    ``params`` are the generator's keyword arguments with JSON-friendly
+    encodings (``policy`` as ``"single"``/``"multiple"``,
+    ``request_range`` as a two-element list).  Raises ``KeyError`` for
+    an unknown generator kind.
+    """
+    if not GENERATORS:
+        _register_generators()
+    spec = dict(spec)
+    kind = spec.pop("kind")
+    name = spec.pop("name", None)
+    try:
+        gen = GENERATORS[kind]
+    except KeyError:
+        known = ", ".join(sorted(GENERATORS))
+        raise KeyError(f"unknown generator kind {kind!r}; known: {known}") from None
+    if "policy" in spec and not isinstance(spec["policy"], Policy):
+        spec["policy"] = Policy(str(spec["policy"]))
+    if "request_range" in spec and spec["request_range"] is not None:
+        lo, hi = spec["request_range"]
+        spec["request_range"] = (lo, hi)
+    inst = gen(**spec)
+    if name:
+        inst = ProblemInstance(
+            inst.tree, inst.capacity, inst.dmax, inst.policy, name=str(name)
+        )
+    return inst
 
 
 def star(

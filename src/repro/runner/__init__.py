@@ -1,0 +1,53 @@
+"""Unified solver registry and parallel experiment runner.
+
+The substrate every experiment in this repository runs on:
+
+* :mod:`~repro.runner.registry` — the :class:`Solver` protocol, the
+  ``@register_solver`` decorator all algorithms use, and the uniform
+  ``solve(name, instance, budget=...) -> SolveResult`` entry point;
+* :mod:`~repro.runner.batch` — a multiprocessing sweep runner with
+  per-task timeouts and deterministic seeds;
+* :mod:`~repro.runner.store` — an append-only JSON-lines result store
+  making sweeps resumable and diffable across commits;
+* :mod:`~repro.runner.corpus` — the default scenario-diverse corpus.
+
+Exposed on the CLI as ``repro sweep`` and ``repro compare``.
+"""
+
+from .corpus import default_corpus
+from .registry import (
+    DuplicateSolverError,
+    Solver,
+    SolverSpec,
+    UnknownSolverError,
+    available_solvers,
+    get_solver,
+    register_solver,
+    solve,
+    solvers_for,
+    unregister_solver,
+)
+from .result import SolveResult, Status
+from .store import ResultStore
+from .batch import SweepOutcome, SweepTask, run_sweep, tasks_for_corpus
+
+__all__ = [
+    "Solver",
+    "SolverSpec",
+    "SolveResult",
+    "Status",
+    "DuplicateSolverError",
+    "UnknownSolverError",
+    "register_solver",
+    "unregister_solver",
+    "get_solver",
+    "available_solvers",
+    "solvers_for",
+    "solve",
+    "ResultStore",
+    "SweepTask",
+    "SweepOutcome",
+    "run_sweep",
+    "tasks_for_corpus",
+    "default_corpus",
+]

@@ -1,0 +1,86 @@
+"""Default sweep corpus: a scenario-diverse set of instance specs.
+
+Specs are plain dicts consumed by
+:func:`repro.instances.generators.make_instance` — picklable, JSON-able
+and deterministic given their seed.  The default corpus mixes every
+topology family and both policies, with and without distance
+constraints, so a single ``repro sweep`` exercises each registered
+solver on the regimes it claims.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["default_corpus"]
+
+
+def _spec(name: str, kind: str, **params) -> Dict:
+    return {"name": name, "kind": kind, **params}
+
+
+def default_corpus(limit: Optional[int] = None, seed0: int = 0) -> List[Dict]:
+    """The standard benchmark corpus (24 instances by default).
+
+    ``limit`` truncates the list — ``repro sweep --limit 4`` is the CI
+    smoke configuration; ``seed0`` shifts every seed so distinct sweeps
+    never share instances.
+    """
+    specs: List[Dict] = []
+
+    # Single policy, distance-constrained: general random topologies.
+    for i in range(4):
+        specs.append(_spec(
+            f"single-rnd-d{i}", "random_tree",
+            n_internal=8 + 2 * i, n_clients=16 + 4 * i, capacity=20,
+            dmax=5.0 + i, policy="single", max_arity=4, seed=seed0 + i,
+        ))
+    # Single policy, NoD: unlocks single-nod / single-push.
+    for i in range(4):
+        specs.append(_spec(
+            f"single-rnd-nod{i}", "random_tree",
+            n_internal=8 + 2 * i, n_clients=16 + 4 * i, capacity=18,
+            dmax=None, policy="single", max_arity=3, seed=seed0 + 10 + i,
+        ))
+    # Multiple policy on binary trees: multiple-bin's home turf.  A
+    # binary skeleton of n internal nodes can host at most n+1 clients.
+    for i in range(4):
+        specs.append(_spec(
+            f"multi-bin-d{i}", "random_binary_tree",
+            n_internal=9 + 2 * i, n_clients=8 + 2 * i, capacity=10,
+            dmax=None if i % 2 else 6.0 + i, policy="multiple",
+            request_range=[1, 8], seed=seed0 + 20 + i,
+        ))
+    # Multiple policy, general arity (multiple-greedy / exact-multiple).
+    for i in range(3):
+        specs.append(_spec(
+            f"multi-rnd{i}", "random_tree",
+            n_internal=6 + i, n_clients=10 + 2 * i, capacity=12,
+            dmax=None if i == 0 else 7.0, policy="multiple",
+            max_arity=3, request_range=[1, 10], seed=seed0 + 30 + i,
+        ))
+    # Structured families: deep, fanned and degenerate shapes.
+    for i in range(3):
+        specs.append(_spec(
+            f"caterpillar{i}", "caterpillar",
+            length=12 + 6 * i, capacity=15, dmax=None if i == 2 else 4.0,
+            policy="single", seed=seed0 + 40 + i,
+        ))
+    for i in range(3):
+        specs.append(_spec(
+            f"broom{i}", "broom",
+            handle=4 + i, n_clients=10 + 3 * i, capacity=16,
+            dmax=None if i == 1 else float(6 + i), policy="single",
+            seed=seed0 + 50 + i,
+        ))
+    for i in range(3):
+        specs.append(_spec(
+            f"star{i}", "star",
+            n_clients=12 + 4 * i, capacity=14,
+            dmax=None if i == 0 else 2.0, policy="single",
+            request_range=[1, 9], seed=seed0 + 60 + i,
+        ))
+
+    if limit is not None:
+        specs = specs[: max(0, int(limit))]
+    return specs

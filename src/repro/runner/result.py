@@ -1,0 +1,104 @@
+"""Uniform solver outcome record.
+
+Every solver invocation through the registry — interactive, batch or
+CI — produces one :class:`SolveResult`: the objective, validity verdict,
+wall time, solver counters and a machine-readable status.  Results are
+plain data (no :class:`~repro.core.placement.Placement` reference is
+kept beyond the replica set) so they can cross process boundaries and
+round-trip through the JSON-lines store unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["SolveResult", "Status"]
+
+
+class Status:
+    """Allowed values of :attr:`SolveResult.status`."""
+
+    OK = "ok"
+    INVALID = "invalid"
+    INFEASIBLE = "infeasible"
+    INAPPLICABLE = "inapplicable"
+    BUDGET = "budget"
+    TIMEOUT = "timeout"
+    ERROR = "error"
+
+    ALL = (OK, INVALID, INFEASIBLE, INAPPLICABLE, BUDGET, TIMEOUT, ERROR)
+
+
+@dataclass
+class SolveResult:
+    """Outcome of running one solver on one instance.
+
+    Attributes
+    ----------
+    solver:
+        Registry name of the solver (e.g. ``"single-gen"``).
+    instance:
+        Stable instance identifier — for generated corpora the spec
+        name, for files the file name.
+    status:
+        One of :class:`Status`; ``"ok"`` means a checker-valid placement
+        was produced.
+    n_replicas:
+        The objective ``|R|`` (``None`` unless a placement was produced).
+    lower_bound:
+        Combinatorial lower bound of the instance, for ratio reporting.
+    wall_time:
+        Solver wall-clock seconds (excludes instance generation).
+    counters:
+        Solver-specific work counters (nodes expanded, subsets explored,
+        local-search rounds, ...).
+    replicas:
+        The replica set, for diffing placements across commits.
+    error:
+        ``"ExceptionType: message"`` for non-``ok`` outcomes.
+    seed:
+        Seed of the generated instance (0 for file-backed instances).
+    cached:
+        True when the row was loaded from a store instead of computed.
+    """
+
+    solver: str
+    instance: str
+    status: str
+    n_replicas: Optional[int] = None
+    lower_bound: Optional[int] = None
+    wall_time: float = 0.0
+    counters: Dict[str, int] = field(default_factory=dict)
+    replicas: List[int] = field(default_factory=list)
+    error: Optional[str] = None
+    seed: int = 0
+    cached: bool = False
+
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        """True iff the solver produced a checker-valid placement."""
+        return self.status == Status.OK
+
+    @property
+    def key(self) -> str:
+        """Resume key: one row per (instance, seed, solver)."""
+        return f"{self.instance}@{self.seed}::{self.solver}"
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (one store row)."""
+        d = asdict(self)
+        d.pop("cached", None)  # transport-only flag, not persisted
+        return d
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SolveResult":
+        """Inverse of :meth:`to_dict`; tolerates unknown extra keys."""
+        known = {
+            "solver", "instance", "status", "n_replicas", "lower_bound",
+            "wall_time", "counters", "replicas", "error", "seed",
+        }
+        kw = {k: v for k, v in data.items() if k in known}
+        return cls(**kw)

@@ -1,0 +1,76 @@
+"""JSON-lines result store.
+
+One :class:`SolveResult` per line, appended as results arrive, so a
+killed sweep loses at most the row in flight.  The format is
+diff-friendly (stable key order, one row per line) and greppable; the
+batch runner resumes sweeps from :meth:`ResultStore.latest`
+(last-write-wins per resume key) across commits and crashes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, Iterator, List, Set
+
+from .result import SolveResult
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Append-only JSON-lines persistence for sweep results."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[SolveResult]:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError:
+                    # A row truncated by a crash mid-append: skip it; the
+                    # resume logic will simply recompute that task.
+                    continue
+                res = SolveResult.from_dict(data)
+                res.cached = True
+                yield res
+
+    def load(self) -> List[SolveResult]:
+        """All rows, in append order."""
+        return list(self)
+
+    def latest(self) -> Dict[str, SolveResult]:
+        """One row per resume key; later appends win."""
+        out: Dict[str, SolveResult] = {}
+        for res in self:
+            out[res.key] = res
+        return out
+
+    def completed_keys(self) -> Set[str]:
+        """Resume keys already present in the store."""
+        return set(self.latest())
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    # ------------------------------------------------------------------
+    def append(self, result: SolveResult) -> None:
+        """Append one row and flush, creating the file if needed."""
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(result.to_dict(), sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def extend(self, results: Iterable[SolveResult]) -> None:
+        for r in results:
+            self.append(r)

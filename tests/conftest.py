@@ -1,10 +1,19 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Also hosts the shared hypothesis strategy :func:`tree_instances` so the
+property suites can import it absolutely (``from tests.conftest import
+tree_instances``) regardless of the pytest rootdir.
+"""
 
 from __future__ import annotations
 
-import pytest
+import math
 
-from repro import Policy, ProblemInstance, TreeBuilder
+import pytest
+from hypothesis import strategies as st
+
+from repro import Policy, ProblemInstance, Tree, TreeBuilder
+from repro.core.tree import NO_PARENT
 
 
 def build_paper_example() -> ProblemInstance:
@@ -51,6 +60,54 @@ def build_theorem6_counterexample() -> ProblemInstance:
     b.add(n2, delta=1.1, requests=6)
     b.add(n2, delta=1.8, requests=4)
     return ProblemInstance(b.build(), 8, 6.0, Policy.MULTIPLE)
+
+
+@st.composite
+def tree_instances(draw, max_nodes=24, binary=False, with_dmax=True):
+    """A random valid ProblemInstance (shared hypothesis strategy)."""
+    n_internal = draw(st.integers(1, max_nodes // 2))
+    arity_cap = 2 if binary else draw(st.integers(2, 4))
+    # Build parent pointers for the internal skeleton.
+    parents = [NO_PARENT]
+    child_count = {0: 0}
+    for v in range(1, n_internal):
+        options = [u for u in range(v) if child_count[u] < arity_cap - 1]
+        if not options:
+            break
+        p = draw(st.sampled_from(options))
+        parents.append(p)
+        child_count[p] = child_count[p] + 1
+        child_count[v] = 0
+    n_int = len(parents)
+    # Attach clients: every childless internal node gets one, then a few
+    # more wherever arity allows.
+    W = draw(st.integers(3, 20))
+    requests = [0] * n_int
+    deltas = [math.inf] + [
+        draw(st.floats(0.5, 3.0, allow_nan=False)) for _ in range(n_int - 1)
+    ]
+    client_hosts = [u for u in range(n_int) if child_count[u] == 0]
+    for host in client_hosts:
+        child_count[host] += 1
+    extra = draw(st.integers(0, max_nodes // 2))
+    for _ in range(extra):
+        options = [u for u in range(n_int) if child_count[u] < arity_cap]
+        if not options:
+            break
+        host = draw(st.sampled_from(options))
+        child_count[host] += 1
+        client_hosts.append(host)
+    for host in client_hosts:
+        parents.append(host)
+        deltas.append(draw(st.floats(0.5, 3.0, allow_nan=False)))
+        requests.append(draw(st.integers(0, W)))
+    tree = Tree(parents, deltas, requests)
+    dmax = (
+        draw(st.one_of(st.none(), st.floats(1.0, 15.0, allow_nan=False)))
+        if with_dmax
+        else None
+    )
+    return ProblemInstance(tree, W, dmax, Policy.SINGLE)
 
 
 @pytest.fixture

@@ -12,7 +12,6 @@ Strategy-generated random trees and demand profiles exercise:
 
 from __future__ import annotations
 
-import math
 from itertools import combinations
 
 from hypothesis import HealthCheck, given, settings
@@ -20,8 +19,6 @@ from hypothesis import strategies as st
 
 from repro import (
     Policy,
-    ProblemInstance,
-    Tree,
     is_valid,
     lower_bound,
     multiple_greedy,
@@ -29,62 +26,9 @@ from repro import (
     single_nod,
 )
 from repro.algorithms import multiple_bin
-from repro.core.tree import NO_PARENT
 from repro.flow import FlowNetwork, max_flow
 from repro.reductions import solve_two_partition, solve_two_partition_equal
-
-# ----------------------------------------------------------------------
-# Strategies
-# ----------------------------------------------------------------------
-
-
-@st.composite
-def tree_instances(draw, max_nodes=24, binary=False, with_dmax=True):
-    """A random valid ProblemInstance."""
-    n_internal = draw(st.integers(1, max_nodes // 2))
-    arity_cap = 2 if binary else draw(st.integers(2, 4))
-    # Build parent pointers for the internal skeleton.
-    parents = [NO_PARENT]
-    child_count = {0: 0}
-    for v in range(1, n_internal):
-        options = [u for u in range(v) if child_count[u] < arity_cap - 1]
-        if not options:
-            break
-        p = draw(st.sampled_from(options))
-        parents.append(p)
-        child_count[p] = child_count[p] + 1
-        child_count[v] = 0
-    n_int = len(parents)
-    # Attach clients: every childless internal node gets one, then a few
-    # more wherever arity allows.
-    W = draw(st.integers(3, 20))
-    requests = [0] * n_int
-    deltas = [math.inf] + [
-        draw(st.floats(0.5, 3.0, allow_nan=False)) for _ in range(n_int - 1)
-    ]
-    client_hosts = [u for u in range(n_int) if child_count[u] == 0]
-    for host in client_hosts:
-        child_count[host] += 1
-    extra = draw(st.integers(0, max_nodes // 2))
-    for _ in range(extra):
-        options = [u for u in range(n_int) if child_count[u] < arity_cap]
-        if not options:
-            break
-        host = draw(st.sampled_from(options))
-        child_count[host] += 1
-        client_hosts.append(host)
-    for host in client_hosts:
-        parents.append(host)
-        deltas.append(draw(st.floats(0.5, 3.0, allow_nan=False)))
-        requests.append(draw(st.integers(0, W)))
-    tree = Tree(parents, deltas, requests)
-    dmax = (
-        draw(st.one_of(st.none(), st.floats(1.0, 15.0, allow_nan=False)))
-        if with_dmax
-        else None
-    )
-    return ProblemInstance(tree, W, dmax, Policy.SINGLE)
-
+from tests.conftest import tree_instances
 
 # ----------------------------------------------------------------------
 # Solver invariants

@@ -1,7 +1,7 @@
 """Property-based tests for the extension modules.
 
-Hypothesis strategies reuse the tree generator from
-:mod:`tests.test_properties` and add invariants for the Multiple-NoD
+Hypothesis strategies reuse the shared tree generator from
+:mod:`tests.conftest` and add invariants for the Multiple-NoD
 DP, preprocessing, failure repair and the future-work heuristics.
 """
 
@@ -23,7 +23,7 @@ from repro.algorithms.multiple_nod_dp import _min_plus
 from repro.core import preprocess
 from repro.simulate import repair_placement
 
-from .test_properties import tree_instances
+from tests.conftest import tree_instances
 
 COMMON = dict(
     deadline=None, suppress_health_check=[HealthCheck.too_slow], max_examples=40

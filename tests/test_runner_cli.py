@@ -1,0 +1,85 @@
+"""CLI verbs for the experiment runner: repro sweep / repro compare --store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.runner import ResultStore
+
+
+@pytest.fixture
+def sweep_store(tmp_path):
+    """A small persisted sweep to compare against."""
+    path = str(tmp_path / "sweep.jsonl")
+    rc = main([
+        "sweep", "--limit", "3",
+        "--solvers", "single-gen", "greedy-packing", "local",
+        "--out", path, "--timeout", "30",
+    ])
+    assert rc == 0
+    return path
+
+
+class TestSweepCommand:
+    def test_sweep_writes_store_and_prints_table(self, tmp_path, capsys):
+        path = str(tmp_path / "s.jsonl")
+        rc = main([
+            "sweep", "--limit", "2",
+            "--solvers", "single-gen", "local",
+            "--out", path, "--timeout", "30",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "single-gen" in out and "ratio" in out
+        rows = [json.loads(ln) for ln in open(path)]
+        assert {r["solver"] for r in rows} == {"single-gen", "local"}
+        assert all(r["status"] == "ok" for r in rows)
+
+    def test_sweep_resumes_from_store(self, sweep_store, capsys):
+        before = len(ResultStore(sweep_store).load())
+        rc = main([
+            "sweep", "--limit", "3",
+            "--solvers", "single-gen", "greedy-packing", "local",
+            "--out", sweep_store, "--timeout", "30",
+        ])
+        assert rc == 0
+        assert f"{before} resumed from store" in capsys.readouterr().err
+        assert len(ResultStore(sweep_store).load()) == before
+
+    def test_sweep_workers_flag(self, tmp_path, capsys):
+        rc = main([
+            "sweep", "--limit", "2", "--workers", "2",
+            "--solvers", "single-gen", "local",
+            "--out", str(tmp_path / "p.jsonl"), "--timeout", "30",
+        ])
+        assert rc == 0
+        assert "single-gen" in capsys.readouterr().out
+
+
+class TestCompareStore:
+    def test_compare_renders_solver_vs_solver_table(self, sweep_store, capsys):
+        rc = main(["compare", "--store", sweep_store])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("single-gen", "greedy-packing", "local"):
+            assert name in out
+        assert "ratio" in out and "wins" in out
+
+    def test_compare_empty_store_fails(self, tmp_path, capsys):
+        rc = main(["compare", "--store", str(tmp_path / "none.jsonl")])
+        assert rc == 1
+
+    def test_compare_without_args_fails(self, capsys):
+        rc = main(["compare"])
+        assert rc == 2
+
+    def test_report_can_append_sweep_section(self, sweep_store, tmp_path):
+        out_path = str(tmp_path / "report.md")
+        rc = main(["report", "--sweep", sweep_store, "--out", out_path])
+        assert rc == 0
+        text = open(out_path).read()
+        assert "## Solver sweep" in text
+        assert "| single-gen |" in text

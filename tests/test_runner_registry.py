@@ -1,0 +1,149 @@
+"""Solver registry: registration, lookup, applicability, uniform solve."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Policy, ProblemInstance, TreeBuilder
+from repro.core.placement import Placement
+from repro.instances import random_binary_tree, random_tree
+from repro.runner import (
+    DuplicateSolverError,
+    SolveResult,
+    UnknownSolverError,
+    available_solvers,
+    get_solver,
+    register_solver,
+    solve,
+    solvers_for,
+    unregister_solver,
+)
+
+BUILTINS = [
+    "single-gen", "single-nod", "single-nod-bestfit", "single-push",
+    "multiple-bin", "multiple-nod-dp", "multiple-greedy",
+    "greedy-packing", "local", "exact", "exact-single", "exact-multiple",
+]
+
+
+@pytest.fixture
+def scratch_solver():
+    """Register a throwaway solver, always unregistered on teardown."""
+    name = "scratch-test-solver"
+    unregister_solver(name)
+
+    @register_solver(name, description="test-only")
+    def scratch(instance):
+        tree = instance.tree
+        replicas = [c for c in tree.clients if tree.requests(c) > 0]
+        return Placement(replicas, {(c, c): tree.requests(c) for c in replicas})
+
+    yield name
+    unregister_solver(name)
+
+
+class TestRegistration:
+    def test_all_builtin_algorithms_registered(self):
+        names = {s.name for s in available_solvers()}
+        for expected in BUILTINS:
+            assert expected in names
+
+    def test_lookup_returns_spec_with_callable(self):
+        spec = get_solver("single-gen")
+        assert spec.name == "single-gen"
+        assert callable(spec.fn)
+        assert spec.policy is Policy.SINGLE
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(UnknownSolverError, match="single-gen"):
+            get_solver("definitely-not-registered")
+
+    def test_duplicate_name_raises(self, scratch_solver):
+        with pytest.raises(DuplicateSolverError, match=scratch_solver):
+            @register_solver(scratch_solver)
+            def clone(instance):  # pragma: no cover - never called
+                raise AssertionError
+
+    def test_decorator_returns_function_unchanged(self, scratch_solver):
+        spec = get_solver(scratch_solver)
+        assert spec.fn.__name__ == "scratch"
+
+
+class TestApplicability:
+    def test_nod_solver_rejects_distance_instance(self, paper_example):
+        spec = get_solver("single-nod")
+        assert not spec.applicable(paper_example)
+        assert "NoD" in spec.inapplicable_reason(paper_example)
+        assert spec.applicable(paper_example.without_distance())
+
+    def test_binary_only_rejects_wide_tree(self):
+        inst = random_tree(
+            4, 6, capacity=10, max_arity=4, seed=3, policy=Policy.MULTIPLE
+        )
+        assert inst.tree.arity > 2
+        assert not get_solver("multiple-bin").applicable(inst)
+
+    def test_solvers_for_filters_policy_and_shape(self):
+        inst = random_binary_tree(6, 6, capacity=9, seed=1, policy=Policy.MULTIPLE)
+        names = {s.name for s in solvers_for(inst)}
+        assert "multiple-bin" in names
+        assert "single-gen" not in names
+        exact_names = {s.name for s in solvers_for(inst, exact=True)}
+        assert exact_names <= names
+        assert "multiple-greedy" not in exact_names
+
+
+class TestUniformSolve:
+    def test_ok_result_carries_objective_and_bound(self, paper_example):
+        res = solve("single-gen", paper_example)
+        assert isinstance(res, SolveResult)
+        assert res.ok and res.status == "ok"
+        assert res.n_replicas >= res.lower_bound >= 1
+        assert res.wall_time >= 0
+        assert sorted(res.replicas) == res.replicas
+
+    def test_inapplicable_is_a_result_not_an_exception(self, paper_example):
+        res = solve("single-nod", paper_example)
+        assert res.status == "inapplicable"
+        assert res.n_replicas is None
+
+    def test_infeasible_is_reported(self):
+        b = TreeBuilder()
+        r = b.add_root()
+        b.add(r, delta=1.0, requests=50)
+        inst = ProblemInstance(b.build(), 5, None, Policy.SINGLE)
+        res = solve("single-gen", inst)
+        assert res.status == "infeasible"
+
+    def test_budget_exhaustion_is_reported(self):
+        from repro.instances import star
+
+        inst = star(12, capacity=10, request_range=(3, 7), seed=1)
+        res = solve("exact-single", inst, budget=3)
+        assert res.status == "budget"
+
+    def test_exact_solver_reports_counters(self):
+        from repro.instances import star
+
+        inst = star(8, capacity=10, request_range=(3, 7), seed=4)
+        res = solve("exact-single", inst)
+        assert res.ok
+        assert res.counters.get("nodes_expanded", 0) >= 1
+
+    def test_crash_is_reported_as_error(self, scratch_solver):
+        unregister_solver(scratch_solver)
+
+        @register_solver(scratch_solver)
+        def boom(instance):
+            raise RuntimeError("kaboom")
+
+        res = solve(scratch_solver, _mk())
+        assert res.status == "error"
+        assert "kaboom" in res.error
+
+
+def _mk():
+    b = TreeBuilder()
+    r = b.add_root()
+    b.add(r, delta=1.0, requests=2)
+    return ProblemInstance(b.build(), 5, None, Policy.SINGLE)

@@ -1,0 +1,123 @@
+"""JSON-lines result store: round-trip, resume keys, crash tolerance."""
+
+from __future__ import annotations
+
+import json
+
+from repro.runner import ResultStore, SolveResult
+
+
+def _result(solver="single-gen", instance="inst-a", seed=3, **kw) -> SolveResult:
+    defaults = dict(
+        status="ok",
+        n_replicas=4,
+        lower_bound=3,
+        wall_time=0.125,
+        counters={"nodes_expanded": 42},
+        replicas=[1, 5, 7, 9],
+        error=None,
+    )
+    defaults.update(kw)
+    return SolveResult(solver=solver, instance=instance, seed=seed, **defaults)
+
+
+class TestRoundTrip:
+    def test_append_then_load_identical(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.jsonl"))
+        original = _result()
+        store.append(original)
+        loaded = store.load()
+        assert len(loaded) == 1
+        got = loaded[0]
+        assert got.cached is True
+        got.cached = False  # transport flag, not part of the payload
+        assert got == original
+
+    def test_all_statuses_round_trip(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.jsonl"))
+        rows = [
+            _result(instance=f"i{k}", status=s, n_replicas=None, error="x: y")
+            for k, s in enumerate(
+                ["ok", "invalid", "infeasible", "inapplicable",
+                 "budget", "timeout", "error"]
+            )
+        ]
+        store.extend(rows)
+        assert [r.status for r in store] == [r.status for r in rows]
+
+    def test_rows_are_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(str(path))
+        store.append(_result())
+        store.append(_result(instance="inst-b"))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert all(isinstance(json.loads(ln), dict) for ln in lines)
+
+
+class TestResumeSemantics:
+    def test_completed_keys_match_result_keys(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.jsonl"))
+        a, b = _result(), _result(solver="local")
+        store.extend([a, b])
+        assert store.completed_keys() == {a.key, b.key}
+        assert a.key == "inst-a@3::single-gen"
+
+    def test_latest_wins_on_duplicate_keys(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.jsonl"))
+        store.append(_result(n_replicas=9))
+        store.append(_result(n_replicas=4))
+        latest = store.latest()
+        assert len(latest) == 1
+        assert next(iter(latest.values())).n_replicas == 4
+
+    def test_truncated_trailing_row_is_skipped(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(str(path))
+        store.append(_result())
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"solver": "local", "instance": "half')  # simulated crash
+        assert len(store.load()) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        store = ResultStore(str(tmp_path / "nope.jsonl"))
+        assert store.load() == []
+        assert store.completed_keys() == set()
+
+    def test_unknown_extra_keys_tolerated(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        row = _result().to_dict()
+        row["future_field"] = {"nested": True}
+        path.write_text(json.dumps(row) + "\n")
+        loaded = ResultStore(str(path)).load()
+        assert loaded[0].solver == "single-gen"
+
+
+class TestSweepAggregation:
+    def test_zero_replica_optimum_still_credited(self):
+        # A demand-free instance has a 0-replica optimum; the solver
+        # matching it must win and be ratio-1, not fall out of the stats.
+        from repro.analysis import summarize_sweep
+
+        rows = [
+            _result(solver="a", n_replicas=0, replicas=[]),
+            _result(solver="b", n_replicas=2, replicas=[1, 2]),
+        ]
+        by_name = {s.solver: s for s in summarize_sweep(rows)}
+        assert by_name["a"].wins == 1
+        assert by_name["a"].mean_ratio == 1.0
+        assert by_name["b"].wins == 0
+
+    def test_failed_rows_counted_not_ranked(self):
+        from repro.analysis import summarize_sweep
+
+        rows = [
+            _result(solver="a"),
+            _result(solver="b", status="timeout", n_replicas=None),
+            _result(solver="b", instance="inst-c", status="error",
+                    n_replicas=None, error="X: y"),
+        ]
+        by_name = {s.solver: s for s in summarize_sweep(rows)}
+        assert by_name["b"].timeouts == 1 and by_name["b"].errors == 1
+        assert by_name["b"].mean_ratio is None
+        assert by_name["a"].wins == 1
