@@ -5,17 +5,31 @@ A complete implementation of Benoit, Larchevêque & Renaud-Goud,
 with distance constraints in tree networks"* (INRIA RR-7750 / IPDPS
 2012): the model, the paper's three algorithms, exact optimality
 oracles, the hardness-proof reductions, tight worst-case families,
-generators, a request-serving simulator and an analysis harness.
+generators, a request-serving simulator and an analysis harness —
+fronted by a typed, cached, concurrent service layer.
 
-Quick start::
+The front door is :class:`~repro.service.PlacementService`: it
+auto-selects a solver from the registry (or honours an explicit name),
+caches results by content-addressed instance fingerprint, validates
+every placement with the independent checker and normalises all
+failures into typed responses::
 
-    from repro import ProblemInstance, Policy, single_gen, check_placement
+    from repro import PlacementService
     from repro.instances import random_tree
 
     inst = random_tree(20, 40, capacity=50, dmax=6.0, seed=1)
+    svc = PlacementService()
+    resp = svc.solve_instance(inst)          # auto-selected solver
+    assert resp.ok
+    print(resp.solver, resp.n_replicas, resp.diagnostics.cache_hit)
+
+The same API is served over HTTP by ``repro serve`` (POST
+``/v1/solve``).  Algorithm functions remain importable for direct use::
+
+    from repro import single_gen, check_placement
+
     placement = single_gen(inst)
     check_placement(inst, placement)        # independent validation
-    print(placement.n_replicas)
 """
 
 from .algorithms import (
@@ -63,7 +77,31 @@ from .runner import (
 )
 from .runner import solve as solve_registered
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+# Service-layer names are re-exported lazily (PEP 562) so lightweight
+# consumers — `repro generate`, plain algorithm imports — don't pay for
+# http.server / concurrent.futures until the service is actually used.
+_SERVICE_EXPORTS = frozenset({
+    "Diagnostics",
+    "ErrorInfo",
+    "PlacementService",
+    "ServiceStats",
+    "SolveRequest",
+    "SolveResponse",
+})
+
+
+def __getattr__(name: str):
+    if name in _SERVICE_EXPORTS:
+        from . import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _SERVICE_EXPORTS)
 
 __all__ = [
     "__version__",
@@ -100,6 +138,13 @@ __all__ = [
     "available_solvers",
     "solvers_for",
     "solve_registered",
+    # service layer (the front door)
+    "PlacementService",
+    "ServiceStats",
+    "SolveRequest",
+    "SolveResponse",
+    "Diagnostics",
+    "ErrorInfo",
     # errors
     "ReproError",
     "InvalidTreeError",

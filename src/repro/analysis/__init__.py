@@ -13,6 +13,7 @@ from .report import (
     full_report,
     optimality_report,
     reduction_report,
+    service_report,
     sweep_report,
     tight_family_report,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "summarize_sweep",
     "render_sweep_table",
     "sweep_report",
+    "service_report",
     "full_report",
     "tight_family_report",
     "optimality_report",

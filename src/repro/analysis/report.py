@@ -42,8 +42,40 @@ __all__ = [
     "optimality_report",
     "reduction_report",
     "sweep_report",
+    "service_report",
     "full_report",
 ]
+
+
+def service_report(stats) -> str:
+    """Markdown section summarising placement-service traffic.
+
+    ``stats`` is a :class:`~repro.service.facade.ServiceStats` snapshot
+    (``PlacementService.stats()``).  Rendered by ``repro serve`` on
+    shutdown and embeddable in any report next to the sweep section.
+    """
+    lines = ["## Placement service", ""]
+    if stats.requests == 0:
+        lines += ["_(no requests served)_", ""]
+        return "\n".join(lines)
+    c = stats.cache
+    lines.append(
+        f"{stats.requests} requests in {stats.uptime_s:.1f}s "
+        f"({stats.requests / stats.uptime_s:.1f} req/s) — cache "
+        f"{c.hits}/{c.lookups} hits ({c.hit_rate:.0%}), "
+        f"{c.evictions} evictions, {c.size}/{c.max_entries} resident."
+    )
+    lines.append("")
+    lines.append("| metric | value |")
+    lines.append("|--------|------:|")
+    for status in sorted(stats.by_status):
+        lines.append(f"| status `{status}` | {stats.by_status[status]} |")
+    lines.append(f"| latency mean (ms) | {stats.latency_ms_mean:.2f} |")
+    lines.append(f"| latency p50 (ms) | {stats.latency_ms_p50:.2f} |")
+    lines.append(f"| latency p95 (ms) | {stats.latency_ms_p95:.2f} |")
+    lines.append(f"| latency max (ms) | {stats.latency_ms_max:.2f} |")
+    lines.append("")
+    return "\n".join(lines)
 
 
 def sweep_report(results) -> str:

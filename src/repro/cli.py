@@ -4,20 +4,27 @@ Subcommands::
 
     repro generate --kind random --internal 20 --clients 40 \\
         --capacity 50 --dmax 6 --out inst.json
-    repro solve inst.json --algorithm single-gen
+    repro solve inst.json --algorithm auto
     repro check inst.json placement.json
     repro render inst.json [placement.json]
     repro info inst.json
-    repro sweep --out sweep.jsonl --workers 4
+    repro sweep --out sweep.jsonl
     repro compare --store sweep.jsonl
+    repro serve --port 8350
 
 ``solve`` writes the placement JSON to stdout (or ``--out``) and prints
 a summary to stderr, so pipelines can chain ``solve | check``.
 ``sweep`` fans the default instance corpus across the registered
 solvers in parallel and persists JSON-lines results; ``compare``
 renders a solver-vs-solver table either live on one instance or from a
-persisted sweep store.  Solvers come exclusively from the registry in
-:mod:`repro.runner` — registering a new solver makes it available to
+persisted sweep store.  ``serve`` runs the placement daemon (JSON over
+HTTP, see :mod:`repro.service.daemon`).
+
+The solving verbs — ``solve``, ``check``, ``compare``, ``simulate`` —
+are thin shims over :class:`repro.service.PlacementService`, so they
+get auto-selection (``--algorithm auto``), result caching and uniform
+error reporting for free.  Solvers come exclusively from the registry
+in :mod:`repro.runner` — registering a new solver makes it available to
 every verb with no CLI change.
 """
 
@@ -27,7 +34,7 @@ import argparse
 import json
 import sys
 
-from .core import lower_bound, placement_violations
+from .core import lower_bound
 from .runner import registry
 from .instances import (
     broom,
@@ -50,6 +57,17 @@ __all__ = ["main"]
 def _algorithm_names() -> list:
     """Registered solver names (the registry is the single source)."""
     return [s.name for s in registry.available_solvers()]
+
+
+def _service():
+    """One :class:`~repro.service.PlacementService` per CLI invocation.
+
+    Imported lazily so non-solving verbs (``generate``, ``render``, …)
+    don't pay for the service layer.
+    """
+    from .service import PlacementService
+
+    return PlacementService()
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -84,30 +102,34 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     inst = load_instance(args.instance)
-    solver = registry.get_solver(args.algorithm).fn
-    placement = solver(inst)
-    problems = placement_violations(inst, placement)
-    data = placement_to_dict(placement)
+    solver = None if args.algorithm == "auto" else args.algorithm
+    resp = _service().solve_instance(inst, solver, budget=args.budget)
+    if resp.placement is None:
+        msg = resp.error.message if resp.error is not None else resp.status
+        print(f"solve failed ({resp.status}): {msg}", file=sys.stderr)
+        return 1
+    data = placement_to_dict(resp.placement)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(data, fh, indent=2)
     else:
         json.dump(data, sys.stdout, indent=2)
         print()
+    invalid = resp.status == "invalid"
     print(
-        f"{args.algorithm}: {placement.n_replicas} replicas "
-        f"(lower bound {lower_bound(inst)}); "
-        + ("valid" if not problems else f"INVALID: {problems[0]}"),
+        f"{resp.solver}: {resp.n_replicas} replicas "
+        f"(lower bound {resp.lower_bound}); "
+        + ("valid" if not invalid else f"INVALID: {resp.error.message}"),
         file=sys.stderr,
     )
-    return 0 if not problems else 1
+    return 0 if not invalid else 1
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
     inst = load_instance(args.instance)
     with open(args.placement, "r", encoding="utf-8") as fh:
         placement = placement_from_dict(json.load(fh))
-    problems = placement_violations(inst, placement)
+    problems = _service().check(inst, placement)
     if problems:
         for p in problems:
             print(f"VIOLATION: {p}")
@@ -153,7 +175,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     inst = load_instance(args.instance)
     with open(args.placement, "r", encoding="utf-8") as fh:
         placement = placement_from_dict(json.load(fh))
-    problems = placement_violations(inst, placement)
+    problems = _service().check(inst, placement)
     if problems:
         print(f"refusing to simulate an invalid placement: {problems[0]}")
         return 1
@@ -197,21 +219,29 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     lb = lower_bound(inst)
     print(f"{'algorithm':<16} {'replicas':>9} {'valid':>6}   (lower bound {lb})")
     rc = 0
+    svc = _service()
     for name in args.algorithms:
-        solver = registry.get_solver(name).fn
-        try:
-            placement = solver(inst)
-        except Exception as exc:  # noqa: BLE001 - report per-algorithm
-            print(f"{name:<16} {'—':>9} {'n/a':>6}   ({type(exc).__name__}: {exc})")
+        resp = svc.solve_instance(inst, name)
+        if resp.placement is None:
+            msg = resp.error.message if resp.error is not None else resp.status
+            print(f"{name:<16} {'—':>9} {'n/a':>6}   ({msg})")
             continue
-        problems = placement_violations(inst, placement)
-        if problems:
+        invalid = resp.status == "invalid"
+        if invalid:
             rc = 1
         print(
-            f"{name:<16} {placement.n_replicas:>9} "
-            f"{'yes' if not problems else 'NO':>6}"
+            f"{name:<16} {resp.n_replicas:>9} "
+            f"{'yes' if not invalid else 'NO':>6}"
         )
     return rc
+
+
+def _default_sweep_workers(n_tasks: int) -> int:
+    """Parallel by default: one worker per CPU, but never more than
+    there are (solver, instance) tasks — extra workers would sit idle."""
+    import os
+
+    return max(1, min(os.cpu_count() or 1, n_tasks))
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -242,10 +272,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
 
+    workers = args.workers
+    if workers is None:
+        workers = _default_sweep_workers(len(tasks))
     retry = ("error", "timeout") if args.retry_timeouts else ("error",)
     outcome = run_sweep(
         tasks,
-        workers=args.workers,
+        workers=workers,
         store=store,
         resume=not args.no_resume,
         retry_statuses=retry,
@@ -260,6 +293,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(render_sweep_table(outcome.results))
     bad = [r for r in outcome.results if r.status in ("invalid", "error")]
     return 1 if bad else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import serve
+
+    return serve(
+        args.host,
+        args.port,
+        cache_size=args.cache_size,
+        default_budget=args.budget,
+        verbose=args.verbose,
+    )
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -306,8 +351,12 @@ def build_parser() -> argparse.ArgumentParser:
     s = sub.add_parser("solve", help="solve an instance")
     s.add_argument("instance")
     s.add_argument(
-        "--algorithm", choices=algorithm_names, default="single-gen"
+        "--algorithm", choices=["auto"] + algorithm_names, default="single-gen",
+        help="registered solver name, or 'auto' to let the service "
+        "pick from the documented fallback chain",
     )
+    s.add_argument("--budget", type=int, default=None,
+                   help="search budget forwarded to budgeted solvers")
     s.add_argument("--out", default=None)
     s.set_defaults(func=_cmd_solve)
 
@@ -366,8 +415,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sw.add_argument("--limit", type=int, default=None,
                     help="truncate the corpus to its first N instances")
-    sw.add_argument("--workers", type=int, default=1,
-                    help="worker processes (1 = run inline)")
+    sw.add_argument("--workers", type=int, default=None,
+                    help="worker processes (default: one per CPU, capped "
+                    "at the number of sweep tasks; 1 = run inline)")
     sw.add_argument("--timeout", type=float, default=60.0,
                     help="per-task timeout in seconds (0 disables)")
     sw.add_argument("--budget", type=int, default=None,
@@ -382,6 +432,21 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--verbose", action="store_true",
                     help="stream one line per completed task to stderr")
     sw.set_defaults(func=_cmd_sweep)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the placement service daemon (JSON over HTTP)",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8350,
+                     help="TCP port (0 binds an ephemeral port)")
+    srv.add_argument("--cache-size", type=int, default=256,
+                     help="LRU result-cache entries (0 disables caching)")
+    srv.add_argument("--budget", type=int, default=None,
+                     help="default search budget for budgeted solvers")
+    srv.add_argument("--verbose", action="store_true",
+                     help="log one access line per request to stderr")
+    srv.set_defaults(func=_cmd_serve)
 
     rep = sub.add_parser(
         "report", help="regenerate the paper's headline numbers"

@@ -38,7 +38,7 @@ class Placement:
         integers; the checker enforces everything else.
     """
 
-    __slots__ = ("_replicas", "_assignments")
+    __slots__ = ("_replicas", "_assignments", "_hash")
 
     def __init__(
         self,
@@ -56,6 +56,7 @@ class Placement:
             amap[(int(client), int(server))] = amount
         self._replicas: FrozenSet[int] = frozenset(int(r) for r in replicas)
         self._assignments: Dict[Tuple[int, int], int] = amap
+        self._hash: int | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -122,10 +123,20 @@ class Placement:
         )
 
     def __hash__(self) -> int:
-        return hash((self._replicas, tuple(sorted(self._assignments.items()))))
+        # Cached: placements are immutable, and the service-layer result
+        # cache hashes the same placement on every lookup.
+        if self._hash is None:
+            self._hash = hash(
+                (self._replicas, tuple(sorted(self._assignments.items())))
+            )
+        return self._hash
 
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+    def __repr__(self) -> str:
+        shown = sorted(self._replicas)[:8]
+        ellipsis = ", ..." if self.n_replicas > 8 else ""
+        served = sum(self._assignments.values())
         return (
             f"Placement(|R|={self.n_replicas}, "
-            f"assignments={len(self._assignments)})"
+            f"replicas=[{', '.join(map(str, shown))}{ellipsis}], "
+            f"served={served}, assignments={len(self._assignments)})"
         )

@@ -19,6 +19,7 @@ from ..core.policies import Policy
 from ..core.tree import NO_PARENT, Tree
 
 __all__ = [
+    "canonical_json",
     "instance_to_dict",
     "instance_from_dict",
     "dump_instance",
@@ -29,6 +30,18 @@ __all__ = [
 ]
 
 SCHEMA_VERSION = 1
+
+
+def canonical_json(data: object) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace).
+
+    Two structurally equal payloads always encode to the same string,
+    which makes the output suitable for content-addressing — the service
+    layer fingerprints instances by hashing exactly this encoding.
+    """
+    return json.dumps(
+        data, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
 
 
 def instance_to_dict(instance: ProblemInstance) -> dict:

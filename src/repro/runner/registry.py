@@ -189,6 +189,7 @@ def solve(
     budget: Optional[int] = None,
     instance_id: Optional[str] = None,
     seed: int = 0,
+    keep_placement: bool = False,
 ) -> SolveResult:
     """Run a registered solver and normalise the outcome.
 
@@ -196,6 +197,12 @@ def solve(
     shape mismatches, budget exhaustion and crashes all come back as a
     :class:`SolveResult` with the corresponding status.  Unknown solver
     names still raise — that is a caller bug, not a solver outcome.
+
+    ``keep_placement=True`` attaches the full :class:`Placement` to the
+    result (``result.placement``) so in-process callers — the service
+    façade in particular — can return assignments without re-solving;
+    batch/store paths leave it off since placements are transport-only
+    and never persisted.
     """
     spec = get_solver(name)
     iid = instance_id if instance_id is not None else (instance.name or instance.variant)
@@ -255,4 +262,5 @@ def solve(
         counters=counters,
         replicas=sorted(placement.replicas),
         error=None if not problems else f"InvalidPlacement: {problems[0]}",
+        placement=placement if keep_placement else None,
     )

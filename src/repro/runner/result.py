@@ -10,8 +10,11 @@ round-trip through the JSON-lines store unchanged.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..core.placement import Placement
 
 __all__ = ["SolveResult", "Status"]
 
@@ -61,6 +64,11 @@ class SolveResult:
         Seed of the generated instance (0 for file-backed instances).
     cached:
         True when the row was loaded from a store instead of computed.
+    placement:
+        The full :class:`~repro.core.placement.Placement` (assignments
+        included), populated only when the registry is asked to keep it
+        (``solve(..., keep_placement=True)``).  Transport-only: never
+        persisted to a store and excluded from :meth:`to_dict`.
     """
 
     solver: str
@@ -74,6 +82,7 @@ class SolveResult:
     error: Optional[str] = None
     seed: int = 0
     cached: bool = False
+    placement: Optional["Placement"] = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     @property
@@ -87,10 +96,18 @@ class SolveResult:
         return f"{self.instance}@{self.seed}::{self.solver}"
 
     # ------------------------------------------------------------------
+    _TRANSPORT_ONLY = ("cached", "placement")
+
     def to_dict(self) -> dict:
         """Plain-JSON representation (one store row)."""
-        d = asdict(self)
-        d.pop("cached", None)  # transport-only flag, not persisted
+        d = {}
+        for f in fields(self):
+            if f.name in self._TRANSPORT_ONLY:
+                continue
+            v = getattr(self, f.name)
+            d[f.name] = dict(v) if isinstance(v, dict) else (
+                list(v) if isinstance(v, list) else v
+            )
         return d
 
     @classmethod

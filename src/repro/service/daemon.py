@@ -1,0 +1,248 @@
+"""``repro serve`` — the placement service over HTTP.
+
+A dependency-free daemon on stdlib ``http.server``: a
+:class:`~http.server.ThreadingHTTPServer` whose handler delegates every
+request to one shared, thread-safe
+:class:`~repro.service.facade.PlacementService`.  JSON in, JSON out,
+same wire schema as the library codecs — a round-trip through the
+daemon is byte-identical to ``SolveRequest.to_wire`` /
+``SolveResponse.from_wire``.
+
+Endpoints
+---------
+``POST /v1/solve``
+    Body: a ``SolveRequest`` wire object.  Returns a ``SolveResponse``
+    wire object: HTTP 200 for every solver-level outcome (including
+    ``infeasible`` etc. — inspect ``status``/``error``), HTTP 400 for
+    malformed envelopes, unknown solvers and empty registries.
+``GET /v1/solvers``
+    Registry introspection: ``{"schema": 1, "solvers": [...]}`` with
+    applicability metadata and auto-chain membership per solver.
+``GET /v1/healthz``
+    Liveness plus service stats (requests, cache hit rate, latency
+    percentiles, uptime).
+
+Anything else is a JSON 404.  Errors outside solver code map to the
+``{"error": {"code", "message"}}`` shape clients already parse.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from .facade import PlacementService
+from .schema import (
+    WIRE_SCHEMA_VERSION,
+    ErrorCode,
+    SolveRequest,
+    WireFormatError,
+)
+
+__all__ = ["PlacementServer", "make_server", "serve"]
+
+# Request-level error codes that are the caller's fault -> HTTP 400.
+_CALLER_FAULT = (
+    ErrorCode.BAD_REQUEST,
+    ErrorCode.UNKNOWN_SOLVER,
+    ErrorCode.NO_APPLICABLE_SOLVER,
+)
+
+_MAX_BODY_BYTES = 32 * 1024 * 1024  # refuse absurd payloads outright
+
+
+def _version() -> str:
+    # Imported lazily: repro/__init__ re-exports this module, so a
+    # top-level `from .. import __version__` would run during the
+    # package's own initialisation.
+    from .. import __version__
+
+    return __version__
+
+
+class PlacementServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the shared service instance."""
+
+    daemon_threads = True
+
+    def __init__(
+        self, address: Tuple[str, int], service: PlacementService
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: PlacementServer  # narrowed for type checkers
+
+    protocol_version = "HTTP/1.1"
+    # Quiet by default: one access-log line per request on stderr only
+    # when the server was created verbose.
+    def log_message(self, fmt: str, *args: object) -> None:  # noqa: A003
+        if getattr(self.server, "verbose", False):
+            sys.stderr.write(
+                f"{self.address_string()} - {fmt % args}\n"
+            )
+
+    # -- plumbing ------------------------------------------------------
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Tell well-behaved clients the connection is done so they
+            # reconnect instead of reusing a socket we will close.
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, code: str, message: str) -> None:
+        self._send_json(
+            status,
+            {
+                "schema": WIRE_SCHEMA_VERSION,
+                "error": {"code": code, "message": message},
+            },
+        )
+
+    def _read_body(self) -> Optional[bytes]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > _MAX_BODY_BYTES:
+            # The unread body would desync the keep-alive stream (the
+            # server would parse body bytes as the next request line),
+            # so drop the connection with the error.
+            self.close_connection = True
+            self._send_error_json(
+                413 if length > _MAX_BODY_BYTES else 400,
+                ErrorCode.BAD_REQUEST,
+                f"bad Content-Length {self.headers.get('Content-Length')!r}",
+            )
+            return None
+        return self.rfile.read(length)
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        if self.path == "/v1/healthz":
+            stats = self.server.service.stats()
+            self._send_json(
+                200,
+                {
+                    "schema": WIRE_SCHEMA_VERSION,
+                    "status": "ok",
+                    "version": _version(),
+                    "stats": stats.to_wire(),
+                },
+            )
+        elif self.path == "/v1/solvers":
+            self._send_json(
+                200,
+                {
+                    "schema": WIRE_SCHEMA_VERSION,
+                    "solvers": self.server.service.solver_info(),
+                },
+            )
+        else:
+            self._send_error_json(
+                404, ErrorCode.BAD_REQUEST, f"no such endpoint: {self.path}"
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        if self.path != "/v1/solve":
+            # The unread POST body would desync keep-alive (parsed as
+            # the next request line), so drop the connection too.
+            self.close_connection = True
+            self._send_error_json(
+                404, ErrorCode.BAD_REQUEST, f"no such endpoint: {self.path}"
+            )
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            payload = json.loads(body or b"null")
+        except json.JSONDecodeError as exc:
+            self._send_error_json(
+                400, ErrorCode.BAD_REQUEST, f"body is not JSON: {exc}"
+            )
+            return
+        try:
+            request = SolveRequest.from_wire(payload)
+        except WireFormatError as exc:
+            self._send_error_json(400, ErrorCode.BAD_REQUEST, str(exc))
+            return
+        response = self.server.service.solve(request)
+        http_status = 200
+        if response.error is not None and response.error.code in _CALLER_FAULT:
+            http_status = 400
+        self._send_json(http_status, response.to_wire())
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 8350,
+    *,
+    service: Optional[PlacementService] = None,
+    cache_size: int = 256,
+    default_budget: Optional[int] = None,
+    verbose: bool = False,
+) -> PlacementServer:
+    """Build (but do not start) a daemon bound to ``host:port``.
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``server.server_address`` — which is what the tests and the CI smoke
+    job use to avoid collisions.
+    """
+    if service is None:
+        service = PlacementService(
+            cache_size=cache_size, default_budget=default_budget
+        )
+    server = PlacementServer((host, port), service)
+    server.verbose = verbose
+    return server
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8350,
+    *,
+    cache_size: int = 256,
+    default_budget: Optional[int] = None,
+    verbose: bool = False,
+    ready: Optional[threading.Event] = None,
+) -> int:
+    """Run the daemon until interrupted; returns a process exit code."""
+    server = make_server(
+        host,
+        port,
+        cache_size=cache_size,
+        default_budget=default_budget,
+        verbose=verbose,
+    )
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"repro serve: listening on http://{bound_host}:{bound_port} "
+        f"(POST /v1/solve, GET /v1/solvers, GET /v1/healthz)",
+        file=sys.stderr,
+    )
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+        stats = server.service.stats()
+        server.service.close()
+        if stats.requests:
+            from ..analysis import service_report
+
+            print(service_report(stats), file=sys.stderr)
+    return 0

@@ -1,0 +1,364 @@
+"""The :class:`PlacementService` façade — the front door for solving.
+
+Every entry point in the repository (CLI verbs, the HTTP daemon, tests,
+downstream libraries) funnels solve traffic through this class instead
+of calling algorithm functions directly.  One ``solve`` call does, in
+order:
+
+1. fingerprint the request (content-addressed, see
+   :mod:`repro.service.fingerprint`);
+2. consult the LRU result cache — a hit returns immediately with
+   ``diagnostics.cache_hit=True``;
+3. resolve the solver: explicit name honoured verbatim, otherwise the
+   documented auto-selection chain (:mod:`repro.service.selection`);
+4. run it through the registry's uniform ``solve`` (validation
+   included) and normalise *every* outcome — infeasible, inapplicable,
+   budget-exhausted, crashed, invalid — into a typed
+   :class:`~repro.service.schema.SolveResponse` with a structured
+   error; request-level failures never raise;
+5. cache deterministic outcomes (``ok`` and ``infeasible``) and record
+   latency/status counters for :meth:`stats`.
+
+The service is thread-safe end to end (locked cache, locked counters)
+and owns a lazily started thread pool for :meth:`solve_many`, so the
+threaded HTTP daemon and library callers share one implementation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.instance import ProblemInstance
+from ..core.placement import Placement
+from ..core.validation import placement_violations
+from ..runner import registry
+from ..runner.result import Status
+from ..runner.registry import UnknownSolverError
+from .cache import CacheStats, ResultCache
+from .fingerprint import request_fingerprint
+from .schema import Diagnostics, ErrorCode, ErrorInfo, SolveRequest, SolveResponse
+from .selection import NoApplicableSolverError, select_solver
+
+__all__ = ["PlacementService", "ServiceStats"]
+
+# Deterministic outcomes worth caching: re-solving cannot change them.
+_CACHEABLE = (Status.OK, Status.INFEASIBLE)
+
+_STATUS_TO_CODE = {
+    Status.INFEASIBLE: ErrorCode.INFEASIBLE,
+    Status.INAPPLICABLE: ErrorCode.INAPPLICABLE,
+    Status.BUDGET: ErrorCode.BUDGET_EXHAUSTED,
+    Status.INVALID: ErrorCode.INVALID_PLACEMENT,
+    Status.ERROR: ErrorCode.SOLVER_ERROR,
+}
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already sorted, non-empty list."""
+    idx = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Point-in-time service counters for health checks and reports."""
+
+    requests: int = 0
+    by_status: Dict[str, int] = field(default_factory=dict)
+    cache: CacheStats = field(default_factory=CacheStats)
+    latency_ms_mean: float = 0.0
+    latency_ms_p50: float = 0.0
+    latency_ms_p95: float = 0.0
+    latency_ms_max: float = 0.0
+    uptime_s: float = 0.0
+
+    def to_wire(self) -> dict:
+        return {
+            "requests": self.requests,
+            "by_status": dict(self.by_status),
+            "cache": {
+                "size": self.cache.size,
+                "max_entries": self.cache.max_entries,
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "evictions": self.cache.evictions,
+                "hit_rate": self.cache.hit_rate,
+            },
+            "latency_ms": {
+                "mean": self.latency_ms_mean,
+                "p50": self.latency_ms_p50,
+                "p95": self.latency_ms_p95,
+                "max": self.latency_ms_max,
+            },
+            "uptime_s": self.uptime_s,
+        }
+
+
+class PlacementService:
+    """Typed, cached, concurrent solve service over the solver registry.
+
+    Parameters
+    ----------
+    cache_size:
+        Maximum entries in the LRU result cache (``0`` disables it).
+    workers:
+        Thread-pool width for :meth:`solve_many`; ``None`` lets the
+        executor pick its default.  Single :meth:`solve` calls never
+        touch the pool.
+    default_budget:
+        Budget applied when a request carries none (forwarded only to
+        solvers that declare a budget kwarg).
+    """
+
+    # Sliding window of per-request service latencies kept for stats.
+    _LATENCY_WINDOW = 2048
+
+    def __init__(
+        self,
+        cache_size: int = 256,
+        workers: Optional[int] = None,
+        default_budget: Optional[int] = None,
+    ) -> None:
+        self._cache: ResultCache[SolveResponse] = ResultCache(cache_size)
+        self._workers = workers
+        self._default_budget = default_budget
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._by_status: Dict[str, int] = {}
+        self._latencies_ms: List[float] = []
+        self._started = time.monotonic()
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "PlacementService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- the core call -------------------------------------------------
+    def solve(self, request: SolveRequest) -> SolveResponse:
+        """Answer one request; request-level failures never raise."""
+        t0 = time.perf_counter()
+        fp = request_fingerprint(
+            request.instance, request.solver, request.budget
+        )
+
+        cached = self._cache.get(fp)
+        if cached is not None:
+            response = replace(
+                cached,
+                request_id=request.request_id,
+                placement=(
+                    cached.placement if request.include_assignments else None
+                ),
+                diagnostics=replace(
+                    cached.diagnostics,
+                    cache_hit=True,
+                    service_ms=(time.perf_counter() - t0) * 1e3,
+                    # Fresh dict per response: callers may mutate it,
+                    # and the cached entry must stay pristine.
+                    counters=dict(cached.diagnostics.counters),
+                ),
+            )
+            self._record(response)
+            return response
+
+        response = self._compute(request, fp, t0)
+        if response.status in _CACHEABLE:
+            # Cache the full response (assignments included) so later
+            # hits can honour include_assignments either way.  The
+            # entry gets its own diagnostics/counters: the object
+            # handed back to the caller is mutable, and caller edits
+            # must not leak into future cache hits.
+            self._cache.put(
+                fp,
+                replace(
+                    response,
+                    diagnostics=replace(
+                        response.diagnostics,
+                        counters=dict(response.diagnostics.counters),
+                    ),
+                ),
+            )
+        if not request.include_assignments:
+            response = replace(response, placement=None)
+        self._record(response)
+        return response
+
+    def _compute(
+        self, request: SolveRequest, fp: str, t0: float
+    ) -> SolveResponse:
+        diag = Diagnostics(fingerprint=fp)
+        try:
+            spec, reason = select_solver(request.instance, request.solver)
+        except UnknownSolverError as exc:
+            return self._failure(
+                request, diag, ErrorCode.UNKNOWN_SOLVER, str(exc), t0
+            )
+        except NoApplicableSolverError as exc:
+            return self._failure(
+                request, diag, ErrorCode.NO_APPLICABLE_SOLVER, str(exc), t0
+            )
+        diag.selection = "explicit" if request.solver is not None else "auto"
+        diag.selection_reason = reason
+
+        budget = request.budget
+        if budget is None:
+            budget = self._default_budget
+        result = registry.solve(
+            spec.name,
+            request.instance,
+            budget=budget,
+            keep_placement=True,
+        )
+
+        diag.solve_ms = result.wall_time * 1e3
+        diag.counters = dict(result.counters)
+        diag.service_ms = (time.perf_counter() - t0) * 1e3
+        error = None
+        if result.status != Status.OK:
+            error = ErrorInfo(
+                code=_STATUS_TO_CODE.get(result.status, ErrorCode.SOLVER_ERROR),
+                message=result.error or result.status,
+            )
+        return SolveResponse(
+            status=result.status,
+            solver=spec.name,
+            n_replicas=result.n_replicas,
+            lower_bound=result.lower_bound,
+            placement=result.placement,
+            diagnostics=diag,
+            error=error,
+            request_id=request.request_id,
+        )
+
+    def _failure(
+        self,
+        request: SolveRequest,
+        diag: Diagnostics,
+        code: str,
+        message: str,
+        t0: float,
+    ) -> SolveResponse:
+        diag.service_ms = (time.perf_counter() - t0) * 1e3
+        return SolveResponse(
+            status=Status.ERROR,
+            diagnostics=diag,
+            error=ErrorInfo(code=code, message=message),
+            request_id=request.request_id,
+        )
+
+    # -- conveniences --------------------------------------------------
+    def solve_instance(
+        self,
+        instance: ProblemInstance,
+        solver: Optional[str] = None,
+        *,
+        budget: Optional[int] = None,
+        include_assignments: bool = True,
+        request_id: Optional[str] = None,
+    ) -> SolveResponse:
+        """:meth:`solve` without building the request by hand."""
+        return self.solve(
+            SolveRequest(
+                instance=instance,
+                solver=solver,
+                budget=budget,
+                include_assignments=include_assignments,
+                request_id=request_id,
+            )
+        )
+
+    def solve_many(
+        self, requests: Iterable[SolveRequest]
+    ) -> List[SolveResponse]:
+        """Solve a batch concurrently on the service's worker pool.
+
+        Responses come back in request order.  The pool is created on
+        first use and shared across calls; identical requests in one
+        batch still deduplicate through the cache (first one computes,
+        the rest hit — modulo racing, which at worst recomputes).
+        """
+        reqs = list(requests)
+        if len(reqs) <= 1:
+            return [self.solve(r) for r in reqs]
+        pool = self._ensure_pool()
+        return list(pool.map(self.solve, reqs))
+
+    def check(
+        self, instance: ProblemInstance, placement: Placement
+    ) -> List[str]:
+        """Violations of ``placement`` on ``instance`` (empty = valid).
+
+        Thin façade over the independent checker so service callers
+        need no second import surface.
+        """
+        return placement_violations(instance, placement)
+
+    def solver_info(self) -> List[dict]:
+        """Registry introspection: one JSON-able record per solver."""
+        from .selection import AUTO_CHAIN
+
+        out = []
+        for s in registry.available_solvers():
+            out.append({
+                "name": s.name,
+                "description": s.description,
+                "policy": s.policy.value if s.policy is not None else None,
+                "exact": s.exact,
+                "needs_nod": s.needs_nod,
+                "binary_only": s.binary_only,
+                "accepts_budget": s.budget_kwarg is not None,
+                "in_auto_chain": s.name in AUTO_CHAIN,
+            })
+        return out
+
+    # -- stats ---------------------------------------------------------
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._workers,
+                    thread_name_prefix="placement-service",
+                )
+            return self._pool
+
+    def _record(self, response: SolveResponse) -> None:
+        with self._lock:
+            self._requests += 1
+            self._by_status[response.status] = (
+                self._by_status.get(response.status, 0) + 1
+            )
+            self._latencies_ms.append(response.diagnostics.service_ms)
+            if len(self._latencies_ms) > self._LATENCY_WINDOW:
+                del self._latencies_ms[: -self._LATENCY_WINDOW]
+
+    def stats(self) -> ServiceStats:
+        """Snapshot of request, cache and latency counters."""
+        with self._lock:
+            lat = sorted(self._latencies_ms)
+            by_status = dict(self._by_status)
+            requests = self._requests
+            uptime = time.monotonic() - self._started
+        return ServiceStats(
+            requests=requests,
+            by_status=by_status,
+            cache=self._cache.stats(),
+            latency_ms_mean=(sum(lat) / len(lat)) if lat else 0.0,
+            latency_ms_p50=_percentile(lat, 0.50) if lat else 0.0,
+            latency_ms_p95=_percentile(lat, 0.95) if lat else 0.0,
+            latency_ms_max=lat[-1] if lat else 0.0,
+            uptime_s=uptime,
+        )

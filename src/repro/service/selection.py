@@ -1,0 +1,100 @@
+"""Automatic solver selection from registry applicability metadata.
+
+When a :class:`~repro.service.schema.SolveRequest` names no solver, the
+service walks a documented fallback chain and picks the first solver
+whose :meth:`~repro.runner.registry.SolverSpec.applicable` accepts the
+instance.  The chain orders solvers *specialised-and-exact first*:
+
+1. ``multiple-bin``    — exact and polynomial on Multiple/binary trees
+                         (Theorem 6 of the paper);
+2. ``multiple-nod-dp`` — exact DP for Multiple-NoD on general trees;
+3. ``single-nod``      — the paper's Single-NoD heuristic;
+4. ``single-gen``      — the paper's general Single heuristic;
+5. ``multiple-greedy`` — general Multiple heuristic;
+6. ``greedy-packing``  — Single fallback heuristic;
+7. ``local``           — policy-agnostic local search, accepts anything.
+
+Exponential exact solvers (``exact``, ``exact-single``,
+``exact-multiple``) are deliberately *not* in the chain: auto-selection
+is the serving default and must stay polynomial.  Ask for them by name.
+
+If the chain is exhausted (only possible with a stripped-down registry),
+any remaining applicable registered solver is used — heuristics before
+exact ones, then alphabetically — and only if *nothing* applies does
+:class:`NoApplicableSolverError` surface.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.errors import ReproError
+from ..core.instance import ProblemInstance
+from ..runner import registry
+
+__all__ = [
+    "AUTO_CHAIN",
+    "NoApplicableSolverError",
+    "selection_candidates",
+    "select_solver",
+]
+
+# Order matters: first applicable entry wins.  Keep in sync with the
+# module docstring and the README endpoint reference.
+AUTO_CHAIN: Tuple[str, ...] = (
+    "multiple-bin",
+    "multiple-nod-dp",
+    "single-nod",
+    "single-gen",
+    "multiple-greedy",
+    "greedy-packing",
+    "local",
+)
+
+
+class NoApplicableSolverError(ReproError):
+    """No registered solver accepts the instance."""
+
+
+def selection_candidates(instance: ProblemInstance) -> List[str]:
+    """Solver names auto-selection would consider, in preference order."""
+    registered = {s.name: s for s in registry.available_solvers()}
+    chain = [
+        n for n in AUTO_CHAIN
+        if n in registered and registered[n].applicable(instance)
+    ]
+    extras = sorted(
+        (s.exact, s.name)
+        for s in registered.values()
+        if s.name not in AUTO_CHAIN and s.applicable(instance)
+    )
+    return chain + [name for _exact, name in extras]
+
+
+def select_solver(
+    instance: ProblemInstance, explicit: Optional[str] = None
+) -> Tuple[registry.SolverSpec, str]:
+    """Resolve the solver for one request.
+
+    Returns ``(spec, reason)`` where ``reason`` is a human-readable
+    account for the response diagnostics.  An ``explicit`` name is
+    looked up verbatim (:class:`~repro.runner.registry.UnknownSolverError`
+    for unknown names) and *not* applicability-checked here — the
+    registry's uniform ``solve`` reports inapplicability as a result
+    status, which is more informative than second-guessing the caller.
+    """
+    if explicit is not None:
+        return registry.get_solver(explicit), f"requested {explicit!r}"
+    candidates = selection_candidates(instance)
+    if not candidates:
+        raise NoApplicableSolverError(
+            f"no registered solver accepts {instance.variant} instances"
+        )
+    name = candidates[0]
+    spec = registry.get_solver(name)
+    in_chain = name in AUTO_CHAIN
+    return spec, (
+        f"auto-selected {name!r} for {instance.variant} "
+        f"({'fallback chain' if in_chain else 'registry fallback'}, "
+        f"{'exact' if spec.exact else 'heuristic'})"
+    )

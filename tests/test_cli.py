@@ -79,6 +79,15 @@ class TestSolveAndCheck:
         assert main(["solve", inst_file, "--algorithm", "exact", "--out", out]) == 0
         assert main(["check", inst_file, out]) == 0
 
+    def test_auto_selection_via_cli(self, tmp_path, inst_file, capsys):
+        out = str(tmp_path / "p.json")
+        rc = main(["solve", inst_file, "--algorithm", "auto", "--out", out])
+        assert rc == 0
+        # The service picked a solver and reported it on stderr.
+        err = capsys.readouterr().err
+        assert "replicas" in err and "lower bound" in err
+        assert main(["check", inst_file, out]) == 0
+
 
 class TestRenderAndInfo:
     def test_render(self, inst_file, capsys):

@@ -71,13 +71,14 @@ class TestCompareCommand:
 
     def test_inapplicable_algorithm_reported_not_fatal(self, inst_file, capsys):
         # single-nod refuses distance-constrained instances; compare
-        # reports the error and keeps going.
+        # (through the service) reports the declared inapplicability
+        # reason and keeps going.
         rc = main(
             ["compare", inst_file, "--algorithms", "single-nod", "single-gen"]
         )
         assert rc == 0
         out = capsys.readouterr().out
-        assert "PolicyError" in out
+        assert "NoD variants only" in out
         assert "single-gen" in out
 
     def test_single_push_available(self, tmp_path, paper_example, capsys):

@@ -81,3 +81,34 @@ class TestEquality:
         d = p.assignments
         d[(9, 9)] = 1
         assert (9, 9) not in p.assignments
+
+    def test_value_equality_ignores_construction_order(self):
+        # Cache semantics: the same solution must compare (and hash)
+        # equal however the assignment mapping was enumerated.
+        a = Placement([2, 1], {(3, 1): 4, (4, 2): 5})
+        b = Placement([1, 2], {(4, 2): 5, (3, 1): 4})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_not_equal_to_other_types(self):
+        p = Placement([1], {(2, 1): 3})
+        assert p != "placement"
+        assert (p == object()) is False
+
+    def test_hash_is_cached_and_stable(self):
+        p = Placement([1, 2], {(3, 1): 4})
+        assert hash(p) == hash(p)
+        assert p._hash is not None  # cached after first use
+
+    def test_repr_is_informative(self):
+        p = Placement([9, 1, 2], {(3, 1): 4, (5, 2): 2})
+        r = repr(p)
+        assert "|R|=3" in r
+        assert "1, 2, 9" in r       # sorted replica set
+        assert "served=6" in r
+
+    def test_repr_truncates_large_replica_sets(self):
+        p = Placement(range(100), {})
+        r = repr(p)
+        assert "..." in r and "|R|=100" in r

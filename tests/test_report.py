@@ -6,6 +6,7 @@ from repro.analysis import (
     full_report,
     optimality_report,
     reduction_report,
+    service_report,
     tight_family_report,
 )
 from repro.cli import main
@@ -34,6 +35,27 @@ class TestSections:
         out = full_report()
         for marker in ("Reproduction report", "Theorem 6", "I2", "I4", "I6"):
             assert marker in out
+
+    def test_service_report_renders_live_stats(self):
+        from repro.instances import random_tree
+        from repro.service import PlacementService
+
+        with PlacementService(cache_size=4) as svc:
+            inst = random_tree(4, 8, capacity=12, dmax=4.0, seed=5)
+            svc.solve_instance(inst)
+            svc.solve_instance(inst)  # cache hit
+            out = service_report(svc.stats())
+        assert "Placement service" in out
+        assert "2 requests" in out
+        assert "1/2 hits (50%)" in out
+        assert "latency p95" in out
+
+    def test_service_report_empty(self):
+        from repro.service import PlacementService
+
+        with PlacementService() as svc:
+            out = service_report(svc.stats())
+        assert "no requests served" in out
 
 
 class TestCli:

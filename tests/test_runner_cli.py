@@ -58,6 +58,19 @@ class TestSweepCommand:
         assert rc == 0
         assert "single-gen" in capsys.readouterr().out
 
+    def test_sweep_workers_default_is_cpu_count_capped_at_tasks(self):
+        import os
+
+        from repro.cli import _default_sweep_workers, build_parser
+
+        ncpu = os.cpu_count() or 1
+        assert _default_sweep_workers(1000) == ncpu
+        assert _default_sweep_workers(1) == 1
+        assert _default_sweep_workers(0) == 1
+        # The flag itself defaults to "decide from the machine".
+        args = build_parser().parse_args(["sweep"])
+        assert args.workers is None
+
 
 class TestCompareStore:
     def test_compare_renders_solver_vs_solver_table(self, sweep_store, capsys):

@@ -1,0 +1,131 @@
+"""LRU cache and fingerprinting tests (repro.service.cache/fingerprint)."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.instances import instance_from_dict, instance_to_dict, random_tree
+from repro.service import (
+    ResultCache,
+    instance_fingerprint,
+    request_fingerprint,
+)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        c = ResultCache(max_entries=2)
+        assert c.get("a") is None
+        c.put("a", 1)
+        assert c.get("a") == 1
+        s = c.stats()
+        assert (s.hits, s.misses, s.size) == (1, 1, 1)
+
+    def test_lru_eviction_order(self):
+        c = ResultCache(max_entries=2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.get("a")          # promote a; b is now LRU
+        c.put("c", 3)       # evicts b
+        assert c.get("b") is None
+        assert c.get("a") == 1
+        assert c.get("c") == 3
+        assert c.stats().evictions == 1
+
+    def test_put_refreshes_recency(self):
+        c = ResultCache(max_entries=2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("a", 10)      # refresh value and recency
+        c.put("c", 3)       # evicts b, not a
+        assert c.get("a") == 10
+        assert c.get("b") is None
+
+    def test_zero_size_disables_caching(self):
+        c = ResultCache(max_entries=0)
+        c.put("a", 1)
+        assert c.get("a") is None
+        assert len(c) == 0
+
+    def test_clear_keeps_lifetime_counters(self):
+        c = ResultCache(max_entries=4)
+        c.put("a", 1)
+        c.get("a")
+        c.clear()
+        assert len(c) == 0
+        assert c.stats().hits == 1
+
+    def test_hit_rate(self):
+        c = ResultCache(max_entries=4)
+        assert c.stats().hit_rate == 0.0
+        c.put("a", 1)
+        c.get("a")
+        c.get("nope")
+        assert c.stats().hit_rate == 0.5
+
+    def test_thread_safety_under_contention(self):
+        c = ResultCache(max_entries=16)
+        errors = []
+
+        def worker(i: int) -> None:
+            try:
+                for k in range(200):
+                    key = f"k{(i + k) % 32}"
+                    c.put(key, i)
+                    c.get(key)
+            except Exception as exc:  # noqa: BLE001 — collecting for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(c) <= 16
+
+
+class TestFingerprints:
+    def test_stable_across_equal_instances(self):
+        a = random_tree(6, 12, capacity=15, dmax=5.0, seed=9)
+        b = instance_from_dict(instance_to_dict(a))  # round-tripped copy
+        assert a == b
+        assert instance_fingerprint(a) == instance_fingerprint(b)
+
+    def test_name_does_not_participate(self):
+        from repro import ProblemInstance
+
+        a = random_tree(6, 12, capacity=15, dmax=5.0, seed=9)
+        renamed = ProblemInstance(
+            a.tree, a.capacity, a.dmax, a.policy, name="renamed"
+        )
+        assert instance_fingerprint(a) == instance_fingerprint(renamed)
+
+    def test_numeric_type_does_not_participate(self):
+        # dmax=5 and dmax=5.0 compare equal; content addressing must
+        # not split them into two cache slots.
+        from repro import ProblemInstance
+
+        a = random_tree(6, 12, capacity=15, dmax=5.0, seed=9)
+        b = ProblemInstance(a.tree, int(a.capacity), 5, a.policy)
+        assert a == b
+        assert instance_fingerprint(a) == instance_fingerprint(b)
+
+    def test_content_changes_change_fingerprint(self):
+        a = random_tree(6, 12, capacity=15, dmax=5.0, seed=9)
+        assert instance_fingerprint(a) != instance_fingerprint(
+            a.without_distance()
+        )
+        assert instance_fingerprint(a) != instance_fingerprint(
+            random_tree(6, 12, capacity=15, dmax=5.0, seed=10)
+        )
+
+    def test_request_fingerprint_mixes_solver_and_budget(self):
+        a = random_tree(6, 12, capacity=15, dmax=5.0, seed=9)
+        base = request_fingerprint(a)
+        assert request_fingerprint(a) == base
+        assert request_fingerprint(a, solver="single-gen") != base
+        assert request_fingerprint(a, budget=100) != base
+        assert request_fingerprint(a, solver="single-gen") != request_fingerprint(
+            a, solver="local"
+        )

@@ -1,0 +1,182 @@
+"""End-to-end HTTP tests for the `repro serve` daemon."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import check_placement
+from repro.instances import random_tree
+from repro.service import SolveRequest, SolveResponse, make_server
+
+
+@pytest.fixture(scope="module")
+def server():
+    srv = make_server("127.0.0.1", 0, cache_size=16)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield srv
+    finally:
+        srv.shutdown()
+        srv.server_close()
+        srv.service.close()
+        thread.join(timeout=5)
+
+
+@pytest.fixture(scope="module")
+def base_url(server):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}"
+
+
+def _get(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return json.loads(resp.read())
+
+
+def _post(url: str, payload: dict) -> dict:
+    req = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return json.loads(resp.read())
+
+
+@pytest.fixture
+def inst():
+    return random_tree(6, 12, capacity=15, dmax=5.0, seed=7)
+
+
+class TestHealthz:
+    def test_ok_with_stats(self, base_url):
+        data = _get(base_url + "/v1/healthz")
+        assert data["status"] == "ok"
+        assert "version" in data
+        assert "requests" in data["stats"]
+        assert "latency_ms" in data["stats"]
+
+
+class TestSolvers:
+    def test_lists_registry_with_metadata(self, base_url):
+        data = _get(base_url + "/v1/solvers")
+        names = {s["name"] for s in data["solvers"]}
+        assert {"single-gen", "exact", "multiple-bin"} <= names
+        for s in data["solvers"]:
+            assert {"name", "exact", "policy", "in_auto_chain"} <= set(s)
+
+
+class TestSolve:
+    def test_solve_returns_checker_valid_placement(self, base_url, inst):
+        wire = _post(
+            base_url + "/v1/solve", SolveRequest(instance=inst).to_wire()
+        )
+        resp = SolveResponse.from_wire(wire)
+        assert resp.ok
+        check_placement(inst, resp.placement)
+        assert wire["schema"] == 1
+
+    def test_repeat_request_is_cache_hit(self, base_url):
+        inst = random_tree(5, 10, capacity=15, dmax=5.0, seed=123)
+        payload = SolveRequest(instance=inst).to_wire()
+        first = SolveResponse.from_wire(_post(base_url + "/v1/solve", payload))
+        second = SolveResponse.from_wire(_post(base_url + "/v1/solve", payload))
+        assert not first.diagnostics.cache_hit
+        assert second.diagnostics.cache_hit
+        assert second.placement == first.placement
+
+    def test_explicit_solver_and_request_id(self, base_url, inst):
+        payload = SolveRequest(
+            instance=inst, solver="local", request_id="req-42"
+        ).to_wire()
+        resp = SolveResponse.from_wire(_post(base_url + "/v1/solve", payload))
+        assert resp.solver == "local"
+        assert resp.request_id == "req-42"
+
+    def test_unknown_solver_is_http_400(self, base_url, inst):
+        payload = SolveRequest(instance=inst, solver="nope").to_wire()
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(base_url + "/v1/solve", payload)
+        assert err.value.code == 400
+        body = json.loads(err.value.read())
+        assert body["error"]["code"] == "unknown_solver"
+
+    def test_solver_level_failures_are_http_200(self, base_url):
+        # Infeasible is a solve outcome, not a caller mistake.
+        bad = random_tree(
+            3, 4, capacity=2, dmax=None, request_range=(5, 9), seed=1
+        )
+        wire = _post(
+            base_url + "/v1/solve", SolveRequest(instance=bad).to_wire()
+        )
+        resp = SolveResponse.from_wire(wire)
+        assert resp.status == "infeasible"
+        assert resp.error.code == "infeasible"
+
+    def test_malformed_json_is_http_400(self, base_url):
+        req = urllib.request.Request(
+            base_url + "/v1/solve", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=10)
+        assert err.value.code == 400
+        assert json.loads(err.value.read())["error"]["code"] == "bad_request"
+
+    def test_wrong_schema_version_is_http_400(self, base_url, inst):
+        payload = SolveRequest(instance=inst).to_wire()
+        payload["schema"] = 999
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(base_url + "/v1/solve", payload)
+        assert err.value.code == 400
+
+
+class TestRouting:
+    def test_unknown_path_is_json_404(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(base_url + "/v2/frobnicate")
+        assert err.value.code == 404
+        assert "error" in json.loads(err.value.read())
+
+    def test_post_to_get_endpoint_is_404(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(base_url + "/v1/healthz", {})
+        assert err.value.code == 404
+
+    def test_post_404_does_not_desync_keep_alive(self, base_url, inst):
+        # One persistent connection: a bodied POST to a bad path, then
+        # a valid solve.  The unread body must not be parsed as the
+        # next request line.
+        import http.client
+        from urllib.parse import urlparse
+
+        u = urlparse(base_url)
+        conn = http.client.HTTPConnection(u.hostname, u.port, timeout=10)
+        try:
+            conn.request(
+                "POST", "/v1/nope", body=json.dumps({"x": 1}),
+                headers={"Content-Type": "application/json"},
+            )
+            assert conn.getresponse().read() and True  # drain the 404
+            conn.request(
+                "POST", "/v1/solve",
+                body=json.dumps(SolveRequest(instance=inst).to_wire()),
+                headers={"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            body = json.loads(resp.read())
+            assert resp.status == 200
+            assert SolveResponse.from_wire(body).ok
+        finally:
+            conn.close()
+
+    def test_healthz_reflects_traffic(self, base_url, inst):
+        _post(base_url + "/v1/solve", SolveRequest(instance=inst).to_wire())
+        stats = _get(base_url + "/v1/healthz")["stats"]
+        assert stats["requests"] >= 1
+        assert stats["by_status"].get("ok", 0) >= 1

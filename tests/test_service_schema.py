@@ -1,0 +1,135 @@
+"""Wire-schema round-trips for the service layer (repro.service.schema)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Placement
+from repro.instances import random_tree
+from repro.service import (
+    WIRE_SCHEMA_VERSION,
+    Diagnostics,
+    ErrorCode,
+    ErrorInfo,
+    SolveRequest,
+    SolveResponse,
+    WireFormatError,
+)
+
+
+@pytest.fixture
+def inst():
+    return random_tree(6, 12, capacity=15, dmax=5.0, seed=3)
+
+
+def _through_json(payload: dict) -> dict:
+    """Simulate the network: encode to bytes and parse back."""
+    return json.loads(json.dumps(payload))
+
+
+class TestRequestRoundTrip:
+    def test_full_round_trip(self, inst):
+        req = SolveRequest(
+            instance=inst, solver="single-gen", budget=500,
+            include_assignments=False, request_id="r-1",
+        )
+        back = SolveRequest.from_wire(_through_json(req.to_wire()))
+        assert back.instance == inst
+        assert back.solver == "single-gen"
+        assert back.budget == 500
+        assert back.include_assignments is False
+        assert back.request_id == "r-1"
+
+    def test_defaults_round_trip(self, inst):
+        back = SolveRequest.from_wire(_through_json(SolveRequest(inst).to_wire()))
+        assert back.solver is None
+        assert back.budget is None
+        assert back.include_assignments is True
+
+    def test_wire_carries_schema_version(self, inst):
+        assert SolveRequest(inst).to_wire()["schema"] == WIRE_SCHEMA_VERSION
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda w: w.pop("instance"),
+            lambda w: w.update(schema=99),
+            lambda w: w.pop("schema"),
+            lambda w: w.update(solver=42),
+            lambda w: w.update(budget="lots"),
+            lambda w: w.update(budget=True),  # bool is not a budget
+            lambda w: w.update(instance={"schema": 1}),
+        ],
+    )
+    def test_malformed_requests_raise(self, inst, mutate):
+        wire = SolveRequest(inst).to_wire()
+        mutate(wire)
+        with pytest.raises(WireFormatError):
+            SolveRequest.from_wire(wire)
+
+    def test_non_object_raises(self):
+        with pytest.raises(WireFormatError):
+            SolveRequest.from_wire([1, 2, 3])
+
+
+class TestResponseRoundTrip:
+    def test_ok_response_round_trip(self):
+        placement = Placement([0, 2], {(3, 0): 4, (5, 2): 1})
+        resp = SolveResponse(
+            status="ok", solver="single-gen", n_replicas=2, lower_bound=1,
+            placement=placement,
+            diagnostics=Diagnostics(
+                cache_hit=True, fingerprint="abc", selection="auto",
+                selection_reason="because", solve_ms=1.5, service_ms=2.0,
+                counters={"nodes": 7},
+            ),
+            request_id="r-2",
+        )
+        back = SolveResponse.from_wire(_through_json(resp.to_wire()))
+        assert back.ok
+        assert back.placement == placement
+        assert back.n_replicas == 2
+        assert back.diagnostics.cache_hit is True
+        assert back.diagnostics.fingerprint == "abc"
+        assert back.diagnostics.counters == {"nodes": 7}
+        assert back.request_id == "r-2"
+        assert back.error is None
+
+    def test_error_response_round_trip(self):
+        resp = SolveResponse(
+            status="error",
+            error=ErrorInfo(ErrorCode.UNKNOWN_SOLVER, "unknown solver 'x'"),
+        )
+        back = SolveResponse.from_wire(_through_json(resp.to_wire()))
+        assert not back.ok
+        assert back.placement is None
+        assert back.error is not None
+        assert back.error.code == ErrorCode.UNKNOWN_SOLVER
+        assert "unknown solver" in back.error.message
+
+    def test_wrong_schema_raises(self):
+        wire = SolveResponse(status="ok").to_wire()
+        wire["schema"] = 0
+        with pytest.raises(WireFormatError):
+            SolveResponse.from_wire(wire)
+
+    def test_missing_status_raises(self):
+        wire = SolveResponse(status="ok").to_wire()
+        del wire["status"]
+        with pytest.raises(WireFormatError):
+            SolveResponse.from_wire(wire)
+
+    def test_bad_placement_payload_raises(self):
+        wire = SolveResponse(status="ok").to_wire()
+        wire["placement"] = {"replicas": [1], "assignments": [[0, 1, -5]]}
+        with pytest.raises(WireFormatError):
+            SolveResponse.from_wire(wire)
+
+    def test_unknown_diagnostic_keys_tolerated(self):
+        # Forward compatibility: a newer server may add diagnostics.
+        wire = SolveResponse(status="ok").to_wire()
+        wire["diagnostics"]["shiny_new_field"] = 1
+        back = SolveResponse.from_wire(wire)
+        assert back.status == "ok"
