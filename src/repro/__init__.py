@@ -24,7 +24,10 @@ failures into typed responses::
     print(resp.solver, resp.n_replicas, resp.diagnostics.cache_hit)
 
 The same API is served over HTTP by ``repro serve`` (POST
-``/v1/solve``).  Algorithm functions remain importable for direct use::
+``/v1/solve``), and kept current under changing traffic by the online
+re-placement engine (:class:`~repro.dynamic.DynamicPlacement`, see
+``docs/simulation.md``).  Algorithm functions remain importable for
+direct use::
 
     from repro import single_gen, check_placement
 
@@ -77,11 +80,12 @@ from .runner import (
 )
 from .runner import solve as solve_registered
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
-# Service-layer names are re-exported lazily (PEP 562) so lightweight
-# consumers — `repro generate`, plain algorithm imports — don't pay for
-# http.server / concurrent.futures until the service is actually used.
+# Service- and dynamic-layer names are re-exported lazily (PEP 562) so
+# lightweight consumers — `repro generate`, plain algorithm imports —
+# don't pay for http.server / concurrent.futures until those layers are
+# actually used.
 _SERVICE_EXPORTS = frozenset({
     "Diagnostics",
     "ErrorInfo",
@@ -91,17 +95,30 @@ _SERVICE_EXPORTS = frozenset({
     "SolveResponse",
 })
 
+_DYNAMIC_EXPORTS = frozenset({
+    "CapacityEvent",
+    "DemandEvent",
+    "DynamicPlacement",
+    "FailureEvent",
+    "RepairOutcome",
+    "random_event_trace",
+})
+
 
 def __getattr__(name: str):
     if name in _SERVICE_EXPORTS:
         from . import service
 
         return getattr(service, name)
+    if name in _DYNAMIC_EXPORTS:
+        from . import dynamic
+
+        return getattr(dynamic, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def __dir__():
-    return sorted(set(globals()) | _SERVICE_EXPORTS)
+    return sorted(set(globals()) | _SERVICE_EXPORTS | _DYNAMIC_EXPORTS)
 
 __all__ = [
     "__version__",
@@ -145,6 +162,13 @@ __all__ = [
     "SolveResponse",
     "Diagnostics",
     "ErrorInfo",
+    # dynamic layer (online re-placement)
+    "DynamicPlacement",
+    "RepairOutcome",
+    "DemandEvent",
+    "FailureEvent",
+    "CapacityEvent",
+    "random_event_trace",
     # errors
     "ReproError",
     "InvalidTreeError",

@@ -8,6 +8,7 @@ from .experiments import (
     render_sweep_table,
     summarize_sweep,
 )
+from .online import online_report, render_online_table
 from .ratios import RatioReport, RatioSample, measure_ratios, policy_gap
 from .report import (
     full_report,
@@ -41,6 +42,8 @@ __all__ = [
     "render_sweep_table",
     "sweep_report",
     "service_report",
+    "online_report",
+    "render_online_table",
     "full_report",
     "tight_family_report",
     "optimality_report",

@@ -1,0 +1,79 @@
+"""Repair-vs-resolve reporting for the online re-placement engine.
+
+Renders the measurement rows produced by
+:func:`repro.simulate.online.run_online` as a monospace table plus the
+headline numbers the ROADMAP cares about: how much faster incremental
+repair is than re-solving from scratch, whether it ever paid extra
+replicas for the speed (it must not in ``incremental`` mode), and how
+often repair failed outright.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..simulate.online import OnlineResult, OnlineStep
+
+__all__ = ["render_online_table", "online_report"]
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:8.2f}ms"
+
+
+def render_online_table(steps: Iterable[OnlineStep], limit: int = 0) -> str:
+    """Monospace per-step table (``limit`` > 0 truncates, 0 shows all)."""
+    rows: List[str] = [
+        f"{'step':>4} {'events':<28} {'mode':<19} {'repair':>10} "
+        f"{'resolve':>10} {'speedup':>8} {'|R|':>5} {'|R|cold':>7} {'reused':>7}"
+    ]
+    steps = list(steps)
+    shown = steps if limit <= 0 else steps[:limit]
+    for s in shown:
+        events = s.events if len(s.events) <= 28 else s.events[:25] + "..."
+        speedup = f"{s.speedup:7.2f}x" if s.speedup is not None else "     —  "
+        cost = str(s.cost) if s.cost is not None else "—"
+        cost_full = str(s.cost_full) if s.cost_full is not None else "—"
+        reused = f"{s.nodes_reused}/{s.nodes_reused + s.nodes_recomputed}"
+        mode = s.mode if s.ok else "FAILED"
+        rows.append(
+            f"{s.step:>4} {events:<28} {mode:<19} {_fmt_ms(s.repair_s)} "
+            f"{_fmt_ms(s.resolve_s)} {speedup} {cost:>5} {cost_full:>7} {reused:>7}"
+        )
+    if limit > 0 and len(steps) > limit:
+        rows.append(f"  ... {len(steps) - limit} more steps")
+    return "\n".join(rows)
+
+
+def online_report(result: OnlineResult, *, table_limit: int = 20) -> str:
+    """The repair-vs-resolve report for one online run.
+
+    Sections: the per-step table, aggregate latency/speedup figures,
+    cost parity (incremental vs cold objective) and repair success
+    rate, plus every distinct fallback reason encountered.
+    """
+    out: List[str] = [
+        f"## Online repair vs full re-solve — {result.solver} "
+        f"({result.n_nodes} nodes, {result.n_steps} event batches)",
+        "",
+        render_online_table(result.steps, limit=table_limit),
+        "",
+        f"- repair latency total : {result.total_repair_s * 1e3:.1f} ms",
+        f"- resolve latency total: {result.total_resolve_s * 1e3:.1f} ms",
+        f"- speedup              : mean {result.mean_speedup:.2f}x, "
+        f"median {result.median_speedup:.2f}x over {len(result.speedups)} steps",
+        f"- cost parity          : {result.cost_match_rate * 100:.1f}% "
+        f"(drift {result.cost_drift:+d} replicas)",
+        f"- repair success rate  : {result.success_rate * 100:.1f}% "
+        f"({result.n_ok}/{result.n_steps})",
+        f"- fallbacks            : {result.n_fallbacks}",
+    ]
+    reasons = sorted(
+        {s.fallback_reason for s in result.steps if s.fallback_reason}
+    )
+    for r in reasons:
+        out.append(f"  - fallback reason: {r}")
+    errors = sorted({s.error for s in result.steps if s.error})
+    for e in errors:
+        out.append(f"  - repair failure: {e}")
+    return "\n".join(out)

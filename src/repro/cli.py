@@ -18,7 +18,12 @@ a summary to stderr, so pipelines can chain ``solve | check``.
 solvers in parallel and persists JSON-lines results; ``compare``
 renders a solver-vs-solver table either live on one instance or from a
 persisted sweep store.  ``serve`` runs the placement daemon (JSON over
-HTTP, see :mod:`repro.service.daemon`).
+HTTP, see :mod:`repro.service.daemon`).  ``simulate --online`` replays
+a randomized change-event trace against the online re-placement engine
+(:mod:`repro.dynamic`) and prints the repair-vs-resolve report.
+
+Every verb's ``--help`` epilog names the ``docs/`` page covering it;
+``repro --version`` reports the installed package version.
 
 The solving verbs — ``solve``, ``check``, ``compare``, ``simulate`` —
 are thin shims over :class:`repro.service.PlacementService`, so they
@@ -59,6 +64,23 @@ def _algorithm_names() -> list:
     return [s.name for s in registry.available_solvers()]
 
 
+def _package_version() -> str:
+    """Installed package version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("replica-placement-repro")
+    except PackageNotFoundError:
+        from . import __version__
+
+        return __version__
+
+
+def _docs(page: str) -> str:
+    """Standard epilog pointing a verb at its documentation page."""
+    return f"full documentation: docs/{page}.md"
+
+
 def _service():
     """One :class:`~repro.service.PlacementService` per CLI invocation.
 
@@ -71,11 +93,14 @@ def _service():
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
+    from .core import Policy
+
     kind = args.kind
     common = dict(
         capacity=args.capacity,
         dmax=args.dmax,
         seed=args.seed,
+        policy=Policy(args.policy),
     )
     if kind == "random":
         inst = random_tree(
@@ -170,9 +195,18 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.online:
+        return _cmd_simulate_online(args)
     from .simulate import deterministic_trace, poisson_trace, simulate
 
     inst = load_instance(args.instance)
+    if args.placement is None:
+        print(
+            "simulate: a placement file is required (or use --online "
+            "to drive the re-placement engine instead)",
+            file=sys.stderr,
+        )
+        return 2
     with open(args.placement, "r", encoding="utf-8") as fh:
         placement = placement_from_dict(json.load(fh))
     problems = _service().check(inst, placement)
@@ -191,6 +225,42 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"  server {s:>4}: peak {res.peak_load(s):>6} / {inst.capacity}"
         )
     return 0
+
+
+def _cmd_simulate_online(args: argparse.Namespace) -> int:
+    """``repro simulate --online``: event trace vs re-placement engine."""
+    from .analysis import online_report
+    from .simulate import run_online
+
+    inst = load_instance(args.instance)
+    if args.placement is not None:
+        print(
+            "simulate --online solves its own placements; "
+            "drop the placement argument",
+            file=sys.stderr,
+        )
+        return 2
+    solver = None if args.solver in (None, "auto") else args.solver
+    _engine, result = run_online(
+        inst,
+        steps=args.steps,
+        events_per_step=args.events_per_step,
+        seed=args.seed,
+        p_fail=args.p_fail,
+        p_capacity=args.p_capacity,
+        solver=solver,
+    )
+    print(online_report(result))
+    print()
+    print(result.summary(), file=sys.stderr)
+    # Exit non-zero only on a parity bug: pure-incremental repair is
+    # contractually equal to a from-scratch solve.  Repair failures
+    # (infeasible snapshots) are legitimate outcomes, not errors.
+    parity_bug = any(
+        s.mode == "incremental" and s.cost_matches is False
+        for s in result.steps
+    )
+    return 1 if parity_bug else 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -329,11 +399,21 @@ def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
         description="Replica placement with distance constraints in trees",
+        epilog="documentation index: docs/architecture.md",
+    )
+    p.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_package_version()}",
     )
     sub = p.add_subparsers(dest="command", required=True)
     algorithm_names = sorted(_algorithm_names())
 
-    g = sub.add_parser("generate", help="generate an instance")
+    g = sub.add_parser(
+        "generate",
+        help="generate an instance",
+        epilog=_docs("architecture"),
+    )
     g.add_argument(
         "--kind",
         choices=["random", "binary", "caterpillar", "broom", "star"],
@@ -343,12 +423,17 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--clients", type=int, default=40)
     g.add_argument("--capacity", type=int, required=True)
     g.add_argument("--dmax", type=float, default=None)
+    g.add_argument("--policy", choices=["single", "multiple"],
+                   default="single",
+                   help="access policy of the generated instance")
     g.add_argument("--arity", type=int, default=4)
     g.add_argument("--seed", type=int, default=0)
     g.add_argument("--out", default=None)
     g.set_defaults(func=_cmd_generate)
 
-    s = sub.add_parser("solve", help="solve an instance")
+    s = sub.add_parser(
+        "solve", help="solve an instance", epilog=_docs("service")
+    )
     s.add_argument("instance")
     s.add_argument(
         "--algorithm", choices=["auto"] + algorithm_names, default="single-gen",
@@ -360,35 +445,66 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--out", default=None)
     s.set_defaults(func=_cmd_solve)
 
-    c = sub.add_parser("check", help="validate a placement")
+    c = sub.add_parser(
+        "check", help="validate a placement", epilog=_docs("service")
+    )
     c.add_argument("instance")
     c.add_argument("placement")
     c.set_defaults(func=_cmd_check)
 
-    r = sub.add_parser("render", help="ASCII-render an instance")
+    r = sub.add_parser(
+        "render",
+        help="ASCII-render an instance",
+        epilog=_docs("architecture"),
+    )
     r.add_argument("instance")
     r.add_argument("placement", nargs="?", default=None)
     r.set_defaults(func=_cmd_render)
 
-    i = sub.add_parser("info", help="instance statistics")
+    i = sub.add_parser(
+        "info", help="instance statistics", epilog=_docs("architecture")
+    )
     i.add_argument("instance")
     i.set_defaults(func=_cmd_info)
 
-    sim = sub.add_parser("simulate", help="replay a request trace")
+    sim = sub.add_parser(
+        "simulate",
+        help="replay a request trace, or drive the online "
+        "re-placement engine with --online",
+        epilog=_docs("simulation"),
+    )
     sim.add_argument("instance")
-    sim.add_argument("placement")
+    sim.add_argument("placement", nargs="?", default=None,
+                     help="placement JSON (offline mode only)")
     sim.add_argument(
         "--workload", choices=["deterministic", "poisson"],
         default="deterministic",
     )
     sim.add_argument("--horizon", type=int, default=10)
     sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--online", action="store_true",
+                     help="replay a randomized change-event trace against "
+                     "the incremental re-placement engine and print the "
+                     "repair-vs-resolve report")
+    sim.add_argument("--steps", type=int, default=20,
+                     help="online: number of event batches")
+    sim.add_argument("--events-per-step", type=int, default=1,
+                     help="online: events per batch")
+    sim.add_argument("--p-fail", type=float, default=0.0,
+                     help="online: per-event probability of a host failure")
+    sim.add_argument("--p-capacity", type=float, default=0.0,
+                     help="online: per-event probability of a capacity resize")
+    sim.add_argument("--solver", choices=["auto"] + algorithm_names,
+                     default="auto",
+                     help="online: engine solver (auto picks the "
+                     "incremental backend for NoD instances)")
     sim.set_defaults(func=_cmd_simulate)
 
     cmp_ = sub.add_parser(
         "compare",
         help="run several algorithms on one instance, or summarise a "
         "persisted sweep store",
+        epilog=_docs("algorithms"),
     )
     cmp_.add_argument("instance", nargs="?", default=None)
     cmp_.add_argument(
@@ -404,6 +520,7 @@ def build_parser() -> argparse.ArgumentParser:
     sw = sub.add_parser(
         "sweep",
         help="fan the default corpus across registered solvers in parallel",
+        epilog=_docs("algorithms"),
     )
     sw.add_argument(
         "--out", default=None,
@@ -436,6 +553,7 @@ def build_parser() -> argparse.ArgumentParser:
     srv = sub.add_parser(
         "serve",
         help="run the placement service daemon (JSON over HTTP)",
+        epilog=_docs("service"),
     )
     srv.add_argument("--host", default="127.0.0.1")
     srv.add_argument("--port", type=int, default=8350,
@@ -449,7 +567,9 @@ def build_parser() -> argparse.ArgumentParser:
     srv.set_defaults(func=_cmd_serve)
 
     rep = sub.add_parser(
-        "report", help="regenerate the paper's headline numbers"
+        "report",
+        help="regenerate the paper's headline numbers",
+        epilog=_docs("algorithms"),
     )
     rep.add_argument("--out", default=None)
     rep.add_argument(

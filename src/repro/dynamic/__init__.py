@@ -1,0 +1,75 @@
+"""Online re-placement: keep a placement current under changing traffic.
+
+The top layer of the stack (``core → algorithms → runner → service →
+dynamic``): where the lower layers solve one static snapshot, this
+package maintains a **standing placement** as the snapshot drifts —
+client demand changes, hosts crash, capacity is resized — re-solving
+only the *dirty subtrees* an event touched instead of the whole tree.
+
+Entry points:
+
+* :class:`DynamicPlacement` — the engine: wraps an instance + standing
+  placement, folds :data:`ChangeEvent` batches via :meth:`apply`, and
+  exposes :meth:`resolve_full` for repair-vs-resolve comparisons.
+* :func:`random_event_trace` — seeded randomized event traces for
+  experiments and property tests.
+* :class:`IncrementalNodDP` / :class:`IncrementalSingleNod` — the
+  memoized bottom-up solvers, reusable directly.
+
+Invalidation is content-addressed: every cached subtree result is keyed
+by a Merkle fingerprint of that subtree (see
+:mod:`repro.dynamic.fingerprints`), so "dirty" is simply "the key no
+longer matches" and incremental results are byte-identical to a cold
+solve.  See ``docs/simulation.md`` for the event model and
+``docs/architecture.md`` for where this layer sits.
+"""
+
+from .engine import (
+    MODE_FULL_RESOLVE,
+    MODE_INCREMENTAL,
+    MODE_INCREMENTAL_REPAIR,
+    DynamicPlacement,
+    DynamicStats,
+    RepairOutcome,
+    trace_outcomes,
+)
+from .events import (
+    CapacityEvent,
+    ChangeEvent,
+    DemandEvent,
+    FailureEvent,
+    apply_event,
+    describe_events,
+    random_event_trace,
+)
+from .fingerprints import instance_salt, root_fingerprint, subtree_fingerprints
+from .incremental import (
+    IncrementalNodDP,
+    IncrementalSingleNod,
+    IncrementalStats,
+    IncrementalUnsupported,
+)
+
+__all__ = [
+    "DynamicPlacement",
+    "RepairOutcome",
+    "DynamicStats",
+    "trace_outcomes",
+    "MODE_INCREMENTAL",
+    "MODE_INCREMENTAL_REPAIR",
+    "MODE_FULL_RESOLVE",
+    "DemandEvent",
+    "FailureEvent",
+    "CapacityEvent",
+    "ChangeEvent",
+    "apply_event",
+    "random_event_trace",
+    "describe_events",
+    "subtree_fingerprints",
+    "instance_salt",
+    "root_fingerprint",
+    "IncrementalNodDP",
+    "IncrementalSingleNod",
+    "IncrementalStats",
+    "IncrementalUnsupported",
+]

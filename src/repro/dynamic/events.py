@@ -1,0 +1,229 @@
+"""Change events consumed by the online re-placement engine.
+
+The static model solves one snapshot; a running deployment sees the
+snapshot *drift*: client demand rises and falls, machines crash, and
+operators resize server capacity.  This module types that drift as three
+event kinds, all referring to an existing tree topology (the node set is
+immutable — growing the tree is a new instance, not an event):
+
+* :class:`DemandEvent` — client ``client`` now issues ``requests``
+  requests per unit (an absolute level, not a delta, so event traces are
+  replayable from any point);
+* :class:`FailureEvent` — ``node`` crashed and may never host a replica
+  again (it still routes traffic: the network position survives, the
+  machine does not — the same model as :mod:`repro.simulate.failures`);
+* :class:`CapacityEvent` — the global per-replica capacity ``W`` becomes
+  ``capacity`` (a fleet-wide resize; it dirties every subtree by
+  definition).
+
+:func:`apply_event` folds one event into a
+:class:`~repro.core.instance.ProblemInstance` (returning the new
+instance plus the failed-host delta), and :func:`random_event_trace`
+draws seeded randomized traces for experiments and property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.errors import InvalidInstanceError
+from ..core.instance import ProblemInstance
+
+__all__ = [
+    "DemandEvent",
+    "FailureEvent",
+    "CapacityEvent",
+    "ChangeEvent",
+    "apply_event",
+    "random_event_trace",
+    "describe_events",
+]
+
+
+@dataclass(frozen=True)
+class DemandEvent:
+    """Client ``client`` now issues ``requests`` requests per unit."""
+
+    client: int
+    requests: int
+
+    def describe(self) -> str:
+        return f"demand[{self.client}]={self.requests}"
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """``node`` crashed and can no longer host a replica."""
+
+    node: int
+
+    def describe(self) -> str:
+        return f"fail[{self.node}]"
+
+
+@dataclass(frozen=True)
+class CapacityEvent:
+    """The global per-replica capacity ``W`` becomes ``capacity``."""
+
+    capacity: int
+
+    def describe(self) -> str:
+        return f"capacity={self.capacity}"
+
+
+ChangeEvent = Union[DemandEvent, FailureEvent, CapacityEvent]
+
+
+def apply_event(
+    instance: ProblemInstance,
+    event: ChangeEvent,
+) -> Tuple[ProblemInstance, Optional[int]]:
+    """Fold ``event`` into ``instance``.
+
+    Parameters
+    ----------
+    instance:
+        The current problem snapshot.
+    event:
+        One :data:`ChangeEvent`.
+
+    Returns
+    -------
+    ``(new_instance, newly_failed)`` — the updated instance and, for
+    :class:`FailureEvent`, the node that just crashed (``None``
+    otherwise; failed-host bookkeeping lives in the engine, not on the
+    instance, because the paper's instance model has no failure notion).
+
+    Raises
+    ------
+    InvalidInstanceError
+        If the event is inconsistent with the topology: a demand event
+        naming an internal node or carrying a negative level, or a
+        capacity event with a non-positive ``W``.
+    """
+    tree = instance.tree
+    if isinstance(event, DemandEvent):
+        if not 0 <= event.client < len(tree):
+            raise InvalidInstanceError(
+                f"demand event names unknown node {event.client}"
+            )
+        if not tree.is_leaf(event.client):
+            raise InvalidInstanceError(
+                f"demand event targets internal node {event.client}; only "
+                "clients (leaves) issue requests"
+            )
+        if event.requests < 0:
+            raise InvalidInstanceError(
+                f"demand event carries negative level {event.requests}"
+            )
+        requests = [tree.requests(v) for v in range(len(tree))]
+        requests[event.client] = event.requests
+        return (
+            ProblemInstance(
+                tree.with_requests(requests),
+                instance.capacity,
+                instance.dmax,
+                instance.policy,
+                instance.name,
+            ),
+            None,
+        )
+    if isinstance(event, FailureEvent):
+        if not 0 <= event.node < len(tree):
+            raise InvalidInstanceError(
+                f"failure event names unknown node {event.node}"
+            )
+        return instance, event.node
+    if isinstance(event, CapacityEvent):
+        if event.capacity <= 0:
+            raise InvalidInstanceError(
+                f"capacity event carries non-positive W {event.capacity}"
+            )
+        return (
+            ProblemInstance(
+                tree,
+                event.capacity,
+                instance.dmax,
+                instance.policy,
+                instance.name,
+            ),
+            None,
+        )
+    raise InvalidInstanceError(f"unknown event type {type(event).__name__}")
+
+
+def random_event_trace(
+    instance: ProblemInstance,
+    *,
+    steps: int = 20,
+    events_per_step: int = 1,
+    seed: int = 0,
+    p_fail: float = 0.0,
+    p_capacity: float = 0.0,
+    failed: FrozenSet[int] = frozenset(),
+    fail_leaves: bool = False,
+) -> List[List[ChangeEvent]]:
+    """Draw a seeded randomized event trace for ``instance``.
+
+    Each of the ``steps`` entries is a batch of ``events_per_step``
+    events.  Every event is a demand change by default; with probability
+    ``p_fail`` it is a failure of a not-yet-failed non-root node, and
+    with probability ``p_capacity`` a capacity resize within a factor of
+    two of the current ``W``.  Demand levels are drawn Poisson around
+    the current level (capped at ``W`` so Single instances stay
+    feasible).  ``failed`` seeds the already-crashed set so traces can
+    be extended.
+
+    Failure events target internal nodes — *server* machines — unless
+    ``fail_leaves=True``: a crashed client-host under the Single policy
+    is frequently unrepairable (its whole demand must move to one
+    ancestor with room), which is a modelling choice, not an engine
+    property worth benchmarking by default.
+    """
+    if steps <= 0:
+        raise ValueError("steps must be positive")
+    rng = np.random.default_rng(seed)
+    tree = instance.tree
+    clients = [c for c in tree.clients]
+    W = instance.capacity
+    down = set(failed)
+    candidates = [
+        v
+        for v in range(1, len(tree))
+        if fail_leaves or tree.is_internal(v)
+    ]
+    trace: List[List[ChangeEvent]] = []
+    levels = {c: tree.requests(c) for c in clients}
+    for _ in range(steps):
+        batch: List[ChangeEvent] = []
+        for _ in range(max(1, events_per_step)):
+            roll = rng.random()
+            if roll < p_fail:
+                # A failure draw with no candidates left degrades to a
+                # demand event — never to another event kind, which
+                # would skew runs configured without that kind.
+                alive = [v for v in candidates if v not in down]
+                if alive:
+                    node = int(alive[int(rng.integers(len(alive)))])
+                    down.add(node)
+                    batch.append(FailureEvent(node))
+                    continue
+            elif roll < p_fail + p_capacity:
+                W = int(max(1, rng.integers(max(1, W // 2), 2 * W + 1)))
+                batch.append(CapacityEvent(W))
+                continue
+            c = int(clients[int(rng.integers(len(clients)))])
+            mean = max(1.0, float(levels[c]))
+            level = int(min(W, rng.poisson(mean)))
+            levels[c] = level
+            batch.append(DemandEvent(c, level))
+        trace.append(batch)
+    return trace
+
+
+def describe_events(events: Sequence[ChangeEvent]) -> str:
+    """Compact one-line rendering of an event batch."""
+    return ", ".join(e.describe() for e in events)

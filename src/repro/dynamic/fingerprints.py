@@ -1,0 +1,90 @@
+"""Bottom-up subtree fingerprints — the dirty-subtree invalidation key.
+
+The incremental solvers cache one result per tree node.  Rather than
+tracking dirtiness imperatively (easy to get wrong as event kinds grow),
+each cached entry is keyed by a *Merkle-style fingerprint* of the
+subtree it was computed from: a 128-bit blake2b hash combining the
+node's own solver-relevant data (demand, edge distance, failed flag)
+with the fingerprints of its children, salted with the instance-global
+parameters (capacity, policy).
+
+The invariants this buys:
+
+* a demand change at client ``c`` changes exactly the fingerprints of
+  ``c`` and its ancestors — sibling subtrees keep their keys, so their
+  cached solves stay valid with no bookkeeping;
+* a host failure re-keys the failed node's root path the same way;
+* a capacity change re-keys *every* node (the salt changed), so a
+  global parameter shift degrades gracefully to a full recompute
+  instead of a stale splice.
+
+The root fingerprint doubles as the content identity of the whole
+mutable snapshot; the service layer uses it to invalidate its
+request-level result cache after :meth:`PlacementService.apply_events`.
+"""
+
+from __future__ import annotations
+
+import struct
+from hashlib import blake2b
+from typing import FrozenSet, List
+
+from ..core.instance import ProblemInstance
+from ..core.tree import Tree
+
+__all__ = ["subtree_fingerprints", "instance_salt", "root_fingerprint"]
+
+_DIGEST_SIZE = 16
+
+
+def instance_salt(instance: ProblemInstance) -> bytes:
+    """Global salt: everything solver-relevant that is not per-node.
+
+    Capacity, policy and ``dmax`` participate; the display ``name`` does
+    not (same contract as the service-layer instance fingerprint).
+    """
+    dmax = -1.0 if instance.dmax is None else float(instance.dmax)
+    return struct.pack(
+        "<qd", int(instance.capacity), dmax
+    ) + instance.policy.value.encode("utf-8")
+
+
+def subtree_fingerprints(
+    tree: Tree,
+    salt: bytes,
+    failed: FrozenSet[int] = frozenset(),
+) -> List[bytes]:
+    """One 128-bit fingerprint per node, children-first.
+
+    ``fps[v]`` identifies the solver-relevant content of ``subtree(v)``
+    under the given global ``salt``: demands, edge distances, failure
+    flags, and the shape of the subtree (children order included —
+    the solvers' tie-breaking depends on it).
+    """
+    n = len(tree)
+    fps: List[bytes] = [b""] * n
+    for v in tree.postorder():
+        h = blake2b(digest_size=_DIGEST_SIZE)
+        h.update(salt)
+        h.update(
+            struct.pack(
+                "<qdB",
+                tree.requests(v),
+                tree.delta(v),
+                1 if v in failed else 0,
+            )
+        )
+        for c in tree.children(v):
+            h.update(fps[c])
+        fps[v] = h.digest()
+    return fps
+
+
+def root_fingerprint(
+    instance: ProblemInstance, failed: FrozenSet[int] = frozenset()
+) -> str:
+    """Hex fingerprint of the whole snapshot (tree + failures + salt)."""
+    fps = subtree_fingerprints(
+        instance.tree, instance_salt(instance), failed
+    )
+    return fps[instance.tree.root].hex()

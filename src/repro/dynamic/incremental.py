@@ -1,0 +1,469 @@
+"""Incremental bottom-up solvers with per-subtree memoization.
+
+Both NoD solvers in this repository are bottom-up folds: each node's
+contribution is a pure function of its own data and what its children
+hand up (DP tables for ``multiple-nod-dp``, entry bundles for
+``single-nod``).  That makes them incrementally recomputable: cache the
+per-node fold results keyed by the node's *subtree fingerprint*
+(:mod:`repro.dynamic.fingerprints`), and after an event only the nodes
+whose fingerprint changed — the event site and its root path — are
+re-folded, while every untouched sibling subtree is reused verbatim.
+
+Because a cache hit returns the byte-identical intermediate state a
+cold run would compute, the incremental result **equals a from-scratch
+solve exactly** — same cost, same placement — not just approximately.
+That invariant is property-tested over randomized event traces in
+``tests/test_dynamic.py``.
+
+Two backends:
+
+* :class:`IncrementalNodDP` — the exact Multiple-NoD dynamic program,
+  extended with *forbidden hosts* so server failures are handled inside
+  the optimality framework: a failed leaf must forward its demand, a
+  failed internal node loses its absorb branch.  Still exact among
+  placements avoiding the failed hosts.
+* :class:`IncrementalSingleNod` — the paper's Algorithm 2 re-expressed
+  as a fold over per-subtree *exports* (the aggregate entry or leftover
+  entries a subtree pushes to its parent).  Greedy tie-breaking is
+  reproduced exactly, including the original's reversed-children inbox
+  order.  Forbidden hosts are **not** expressible in the greedy's
+  replica-site choices; :class:`IncrementalUnsupported` is raised and
+  the engine falls back (see :mod:`repro.dynamic.engine`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..algorithms.multiple_nod_dp import _min_plus
+from ..core.errors import InfeasibleInstanceError, PolicyError, ReproError
+from ..core.instance import ProblemInstance
+from ..core.placement import Placement
+from ..core.policies import Policy
+from .fingerprints import instance_salt, subtree_fingerprints
+
+__all__ = [
+    "IncrementalStats",
+    "IncrementalUnsupported",
+    "IncrementalNodDP",
+    "IncrementalSingleNod",
+]
+
+_INF = float("inf")
+
+
+class IncrementalUnsupported(ReproError):
+    """The incremental backend cannot express this scenario.
+
+    Raised instead of silently computing a wrong answer — the engine
+    catches it and takes the documented fallback path.
+    """
+
+
+@dataclass(frozen=True)
+class IncrementalStats:
+    """How much work one incremental solve reused vs redid."""
+
+    nodes_total: int = 0
+    nodes_reused: int = 0
+    nodes_recomputed: int = 0
+
+    @property
+    def reuse_fraction(self) -> float:
+        """Reused nodes over all nodes (0.0 on a cold run)."""
+        return self.nodes_reused / self.nodes_total if self.nodes_total else 0.0
+
+
+def _check_nod(instance: ProblemInstance, who: str) -> None:
+    if instance.has_distance_constraint:
+        raise PolicyError(
+            f"{who} solves the NoD variants only; distance-constrained "
+            "instances take the engine's full-resolve fallback"
+        )
+
+
+class IncrementalNodDP:
+    """Memoized exact Multiple-NoD DP with forbidden-host support.
+
+    The per-node cache stores the DP table ``g_v`` plus the convolution
+    and absorb bookkeeping reconstruction needs.  ``solve`` may be
+    called repeatedly with mutated instances of the *same topology*
+    (node set and parent relation); a topology change clears the cache.
+    """
+
+    name = "multiple-nod-dp"
+    policy = Policy.MULTIPLE
+
+    def __init__(self) -> None:
+        self._topology: Optional[Tuple[int, ...]] = None
+        self._anc: List[int] = []
+        # node -> (fingerprint, g, conv_args, absorb_from)
+        self._memo: Dict[int, tuple] = {}
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        instance: ProblemInstance,
+        failed: FrozenSet[int] = frozenset(),
+    ) -> Tuple[Placement, IncrementalStats]:
+        """Optimal Multiple-NoD placement avoiding the ``failed`` hosts.
+
+        Parameters
+        ----------
+        instance:
+            A Multiple-NoD instance (``dmax is None``).
+        failed:
+            Nodes that may not host a replica (they still route).
+
+        Returns
+        -------
+        ``(placement, stats)`` — the optimal placement among those with
+        no replica on a failed host, and the reuse statistics.
+
+        Raises
+        ------
+        PolicyError
+            If the instance carries a distance constraint or the Single
+            policy.
+        InfeasibleInstanceError
+            If the demand cannot be covered without the failed hosts.
+        """
+        _check_nod(instance, "IncrementalNodDP")
+        if instance.policy is not Policy.MULTIPLE:
+            raise PolicyError("IncrementalNodDP solves Multiple instances")
+        tree = instance.tree
+        W = instance.capacity
+        root = tree.root
+        n = len(tree)
+
+        topology = tuple(tree.parent(v) for v in range(n))
+        if topology != self._topology:
+            self._memo.clear()
+            self._topology = topology
+            anc = [0] * n
+            for v in tree.topological_order():
+                if v != root:
+                    anc[v] = anc[tree.parent(v)] + 1
+            self._anc = anc
+        anc = self._anc
+
+        fps = subtree_fingerprints(tree, instance_salt(instance), failed)
+        subtree_demand = [0] * n
+        for v in tree.postorder():
+            subtree_demand[v] = tree.requests(v) + sum(
+                subtree_demand[c] for c in tree.children(v)
+            )
+
+        reused = recomputed = 0
+        memo = self._memo
+        for v in tree.postorder():
+            cached = memo.get(v)
+            if cached is not None and cached[0] == fps[v]:
+                reused += 1
+                continue
+            recomputed += 1
+            u_cap = min(subtree_demand[v], W * anc[v])
+            if tree.is_leaf(v):
+                r = tree.requests(v)
+                table: List[float] = []
+                if v in failed:
+                    # A failed leaf cannot serve itself: everything must
+                    # be forwarded to (non-failed) ancestors.
+                    table = [0.0 if u >= r else _INF for u in range(u_cap + 1)]
+                else:
+                    for u in range(u_cap + 1):
+                        if u >= r:
+                            table.append(0.0)
+                        elif r - u <= W:
+                            table.append(1.0)
+                        else:
+                            table.append(_INF)
+                memo[v] = (fps[v], table, None, None)
+                continue
+            pool_cap = min(subtree_demand[v], W * (anc[v] + 1))
+            pool: List[float] = [0.0]
+            args: List[Tuple[int, List[Optional[int]]]] = []
+            for child in tree.children(v):
+                pool, arg = _min_plus(memo[child][1], pool, pool_cap)
+                args.append((child, arg))
+            table = [_INF] * (u_cap + 1)
+            chose: List[Optional[int]] = [None] * (u_cap + 1)
+            for u in range(u_cap + 1):
+                if u < len(pool) and pool[u] < table[u]:
+                    table[u] = pool[u]
+                    chose[u] = None
+                if v not in failed:
+                    # Absorb branch: a replica at v takes 1..W of the pool.
+                    hi = min(u + W, len(pool) - 1)
+                    for U in range(u + 1, hi + 1):
+                        val = pool[U] + 1.0
+                        if val < table[u]:
+                            table[u] = val
+                            chose[u] = U
+            memo[v] = (fps[v], table, args, chose)
+
+        stats = IncrementalStats(n, reused, recomputed)
+        g_root = memo[root][1]
+        if not g_root or g_root[0] == _INF:
+            raise InfeasibleInstanceError(
+                "demand cannot be covered"
+                + (" without the failed hosts" if failed else "")
+            )
+
+        # Reconstruction: identical to the from-scratch DP, reading the
+        # (cached or fresh) bookkeeping, plus the per-replica absorb
+        # amount the direct routing below consumes.
+        replicas: List[int] = []
+        absorb: Dict[int, int] = {}
+        forward: Dict[int, int] = {root: 0}
+        stack = [root]
+        while stack:
+            v = stack.pop()
+            u = forward[v]
+            if tree.is_leaf(v):
+                r = tree.requests(v)
+                if u < r:
+                    replicas.append(v)
+                    absorb[v] = r - u
+                continue
+            _fp, _table, args, chose = memo[v]
+            U = u
+            src = chose[u]
+            if src is not None:
+                replicas.append(v)
+                absorb[v] = src - u
+                U = src
+            remaining = U
+            for child, arg in reversed(args):
+                take = arg[remaining]
+                assert take is not None
+                forward[child] = take
+                remaining -= take
+                stack.append(child)
+            assert remaining == 0
+
+        assignments = self._route(tree, forward, absorb)
+        return Placement(replicas, assignments), stats
+
+    @staticmethod
+    def _route(
+        tree, forward: Dict[int, int], absorb: Dict[int, int]
+    ) -> Dict[Tuple[int, int], int]:
+        """Direct client→replica routing from the DP's absorb amounts.
+
+        The DP already fixed how many units each replica takes and how
+        many units cross every parent edge (``forward``); since any
+        ancestor may serve any split of a descendant's demand under
+        Multiple-NoD, a single bottom-up pass suffices — no max-flow
+        oracle.  Pending demand travels up as ``[client, amount]`` pairs
+        and each replica consumes its absorb amount FIFO, so routing is
+        deterministic and O(clients × depth) worst case.
+        """
+        assignments: Dict[Tuple[int, int], int] = {}
+        pending: Dict[int, List[List[int]]] = {}
+        for v in tree.postorder():
+            if tree.is_leaf(v):
+                r = tree.requests(v)
+                inc = [[v, r]] if r > 0 else []
+            else:
+                inc = []
+                for c in tree.children(v):
+                    inc.extend(pending.pop(c, ()))
+            need = absorb.get(v, 0)
+            k = 0
+            while need > 0:
+                client, amount = inc[k]
+                take = min(amount, need)
+                assignments[(client, v)] = (
+                    assignments.get((client, v), 0) + take
+                )
+                inc[k][1] -= take
+                need -= take
+                if inc[k][1] == 0:
+                    k += 1
+            pending[v] = [e for e in inc if e[1] > 0]
+        leftover = pending.get(tree.root, [])
+        assert not leftover, "DP forwarded demand past the root"
+        return assignments
+
+
+# ----------------------------------------------------------------------
+# Single-NoD: Algorithm 2 as a fold over per-subtree exports.
+# ----------------------------------------------------------------------
+
+#: An entry: a pending group of whole clients rooted at ``node``.
+#: ``bundle`` is a tuple of ``(client, amount)`` pairs; demand ≤ W.
+_Entry = Tuple[int, int, Tuple[Tuple[int, int], ...]]
+#: What subtree(v) pushes to parent(v): one aggregate entry, leftover
+#: entries from a packing at v, or nothing.
+_Export = Optional[Tuple[str, tuple]]
+#: Replicas opened while processing a node: ((site, bundle), ...).
+_Contribution = Tuple[Tuple[int, Tuple[Tuple[int, int], ...]], ...]
+
+
+class IncrementalSingleNod:
+    """Memoized Algorithm 2 (``single-nod``) for Single-NoD.
+
+    Every node's processing is a pure function of its children's
+    exports, so per-subtree results memoize exactly like the DP.  The
+    original's tie-breaking is reproduced bit-for-bit: leftover entries
+    arrive in reversed-children order (the from-scratch postorder inbox
+    order), aggregates in children order, and the packing sort is
+    stable — so incremental and from-scratch runs return *identical*
+    placements, not merely equal costs.
+    """
+
+    name = "single-nod"
+    policy = Policy.SINGLE
+
+    def __init__(self) -> None:
+        self._topology: Optional[Tuple[int, ...]] = None
+        # node -> (fingerprint, export, contribution)
+        self._memo: Dict[int, Tuple[bytes, _Export, _Contribution]] = {}
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        instance: ProblemInstance,
+        failed: FrozenSet[int] = frozenset(),
+    ) -> Tuple[Placement, IncrementalStats]:
+        """Single-NoD placement via the memoized greedy fold.
+
+        Parameters
+        ----------
+        instance:
+            A Single-NoD instance (``dmax is None``).
+        failed:
+            Must be empty — the greedy pins replica sites (``j``, the
+            overflow entry's node, root leftovers) and cannot relocate
+            them; pass failures through the engine's repair fallback.
+
+        Returns
+        -------
+        ``(placement, stats)`` — identical to a from-scratch
+        :func:`repro.algorithms.single_nod.single_nod` run.
+
+        Raises
+        ------
+        IncrementalUnsupported
+            If ``failed`` is non-empty.
+        PolicyError
+            If the instance carries a distance constraint or the
+            Multiple policy.
+        InfeasibleInstanceError
+            If some client demands more than ``W``.
+        """
+        _check_nod(instance, "IncrementalSingleNod")
+        if instance.policy is not Policy.SINGLE:
+            raise PolicyError("IncrementalSingleNod solves Single instances")
+        if failed:
+            raise IncrementalUnsupported(
+                "single-nod pins replica sites; failed hosts are handled "
+                "by the engine's greedy-repair fallback"
+            )
+        tree = instance.tree
+        W = instance.capacity
+        if tree.max_request > W:
+            raise InfeasibleInstanceError(
+                f"a client demands {tree.max_request} > W={W}; "
+                "no Single placement exists"
+            )
+
+        topology = tuple(tree.parent(v) for v in range(len(tree)))
+        if topology != self._topology:
+            self._memo.clear()
+            self._topology = topology
+
+        fps = subtree_fingerprints(tree, instance_salt(instance), failed)
+        memo = self._memo
+        reused = recomputed = 0
+        for j in tree.postorder():
+            cached = memo.get(j)
+            if cached is not None and cached[0] == fps[j]:
+                reused += 1
+                continue
+            recomputed += 1
+            export, contribution = self._process(tree, W, j)
+            memo[j] = (fps[j], export, contribution)
+
+        replicas: List[int] = []
+        assignments: Dict[Tuple[int, int], int] = {}
+        for j in tree.topological_order():
+            for site, bundle in memo[j][2]:
+                replicas.append(site)
+                for client, amount in bundle:
+                    assignments[(client, site)] = (
+                        assignments.get((client, site), 0) + amount
+                    )
+        stats = IncrementalStats(len(tree), reused, recomputed)
+        return Placement(replicas, assignments), stats
+
+    # ------------------------------------------------------------------
+    def _process(self, tree, W: int, j: int) -> Tuple[_Export, _Contribution]:
+        """Fold one node given its children's memoized exports."""
+        root = tree.root
+        if tree.is_leaf(j):
+            r = tree.requests(j)
+            if j == root:
+                return None, (((j, ((j, r),)),) if r > 0 else ())
+            if r == 0:
+                return None, ()
+            return ("agg", ((j, r, ((j, r),)),)), ()
+
+        # Reproduce the from-scratch entry order: the postorder inbox
+        # collects leftovers child-by-child in *reversed* children order,
+        # then aggregates append in children order.
+        entries: List[_Entry] = []
+        children = tree.children(j)
+        for c in reversed(children):
+            export = self._memo[c][1]
+            if export is not None and export[0] == "left":
+                entries.extend(export[1])
+        for c in children:
+            export = self._memo[c][1]
+            if export is not None and export[0] == "agg":
+                entries.extend(export[1])
+
+        total = sum(e[1] for e in entries)
+        if total > W:
+            entries.sort(key=lambda e: e[1])  # stable, as in Algorithm 2
+            packed: List[_Entry] = []
+            acc = 0
+            k = 0
+            overflow: Optional[_Entry] = None
+            while k < len(entries):
+                if acc + entries[k][1] > W:
+                    overflow = entries[k]
+                    k += 1
+                    break
+                acc += entries[k][1]
+                packed.append(entries[k])
+                k += 1
+            assert overflow is not None  # total > W and demands ≤ W
+            contribution: List[Tuple[int, Tuple[Tuple[int, int], ...]]] = [
+                (j, _merge_bundles(packed)),
+                (overflow[0], overflow[2]),
+            ]
+            leftovers = tuple(entries[k:])
+            if j != root:
+                return ("left", leftovers), tuple(contribution)
+            # Paper's R3: at the root, each leftover opens its own replica.
+            contribution.extend((e[0], e[2]) for e in leftovers)
+            return None, tuple(contribution)
+
+        if total == 0:
+            return None, ()
+        merged = (j, total, _merge_bundles(entries))
+        if j == root:
+            return None, ((root, merged[2]),)
+        return ("agg", (merged,)), ()
+
+
+def _merge_bundles(
+    entries: Sequence[_Entry],
+) -> Tuple[Tuple[int, int], ...]:
+    out: List[Tuple[int, int]] = []
+    for _node, _demand, bundle in entries:
+        out.extend(bundle)
+    return tuple(out)

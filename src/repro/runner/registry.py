@@ -195,14 +195,43 @@ def solve(
 
     Never raises for solver-level failures: infeasibility, policy or
     shape mismatches, budget exhaustion and crashes all come back as a
-    :class:`SolveResult` with the corresponding status.  Unknown solver
-    names still raise — that is a caller bug, not a solver outcome.
+    :class:`SolveResult` with the corresponding status.
 
-    ``keep_placement=True`` attaches the full :class:`Placement` to the
-    result (``result.placement``) so in-process callers — the service
-    façade in particular — can return assignments without re-solving;
-    batch/store paths leave it off since placements are transport-only
-    and never persisted.
+    Parameters
+    ----------
+    name:
+        Registry name of the solver (e.g. ``"single-gen"``).
+    instance:
+        The problem instance to solve.
+    budget:
+        Search budget, forwarded only to solvers that declared a
+        ``budget_kwarg``; silently ignored otherwise.
+    instance_id:
+        Stable identifier recorded on the result (defaults to the
+        instance's ``name`` or variant).
+    seed:
+        Seed recorded on the result for resumable sweep stores.
+    keep_placement:
+        When True, attach the full :class:`Placement` to the result
+        (``result.placement``) so in-process callers — the service
+        façade in particular — can return assignments without
+        re-solving; batch/store paths leave it off since placements
+        are transport-only and never persisted.
+
+    Returns
+    -------
+    SolveResult
+        ``status="ok"`` with objective/lower-bound/timing on success;
+        ``"infeasible"``, ``"inapplicable"``, ``"budget"``,
+        ``"invalid"`` or ``"error"`` otherwise, with ``error`` naming
+        the exception.  The placement is checker-validated before
+        ``"ok"`` is reported.
+
+    Raises
+    ------
+    UnknownSolverError
+        If ``name`` is not registered — a caller bug, not a solver
+        outcome.
     """
     spec = get_solver(name)
     iid = instance_id if instance_id is not None else (instance.name or instance.variant)

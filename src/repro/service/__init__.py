@@ -23,8 +23,9 @@ or over the network via ``repro serve`` (see
 """
 
 from .cache import CacheStats, ResultCache
-from .facade import PlacementService, ServiceStats
+from .facade import PlacementService, ServiceStats, UnknownSessionError
 from .fingerprint import (
+    combine_fingerprint,
     fingerprint_for,
     instance_fingerprint,
     request_fingerprint,
@@ -60,7 +61,9 @@ __all__ = [
     "CacheStats",
     "instance_fingerprint",
     "request_fingerprint",
+    "combine_fingerprint",
     "fingerprint_for",
+    "UnknownSessionError",
     "AUTO_CHAIN",
     "NoApplicableSolverError",
     "select_solver",

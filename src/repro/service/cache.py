@@ -90,6 +90,16 @@ class ResultCache(Generic[V]):
                 self._data.popitem(last=False)
                 self._evictions += 1
 
+    def remove(self, key: str) -> bool:
+        """Invalidate one entry; True if it was present.
+
+        Used by the dynamic-session path: when events mutate an
+        instance, every cached response keyed to its old fingerprint is
+        dropped (counters are untouched — invalidation is not a miss).
+        """
+        with self._lock:
+            return self._data.pop(key, None) is not None
+
     def clear(self) -> None:
         """Drop every entry (counters are kept — they are lifetime stats)."""
         with self._lock:

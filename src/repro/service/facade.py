@@ -22,6 +22,15 @@ order:
 The service is thread-safe end to end (locked cache, locked counters)
 and owns a lazily started thread pool for :meth:`solve_many`, so the
 threaded HTTP daemon and library callers share one implementation.
+
+The service also fronts the online re-placement layer:
+:meth:`PlacementService.start_dynamic` opens a
+:class:`~repro.dynamic.DynamicPlacement` session and
+:meth:`PlacementService.apply_events` folds change events into it while
+keeping the result cache honest — entries keyed by the mutated
+instance's old content fingerprint are invalidated (via an
+``instance_fp -> request keys`` index) and the incremental repair
+result is seeded under the new fingerprint.  See ``docs/service.md``.
 """
 
 from __future__ import annotations
@@ -30,8 +39,9 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set
 
+from ..core.bounds import lower_bound
 from ..core.instance import ProblemInstance
 from ..core.placement import Placement
 from ..core.validation import placement_violations
@@ -39,11 +49,18 @@ from ..runner import registry
 from ..runner.result import Status
 from ..runner.registry import UnknownSolverError
 from .cache import CacheStats, ResultCache
-from .fingerprint import request_fingerprint
+from .fingerprint import combine_fingerprint, instance_fingerprint
 from .schema import Diagnostics, ErrorCode, ErrorInfo, SolveRequest, SolveResponse
 from .selection import NoApplicableSolverError, select_solver
 
-__all__ = ["PlacementService", "ServiceStats"]
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..dynamic import ChangeEvent, DynamicPlacement, RepairOutcome
+
+__all__ = ["PlacementService", "ServiceStats", "UnknownSessionError"]
+
+
+class UnknownSessionError(KeyError):
+    """``apply_events`` named a dynamic session that does not exist."""
 
 # Deterministic outcomes worth caching: re-solving cannot change them.
 _CACHEABLE = (Status.OK, Status.INFEASIBLE)
@@ -132,6 +149,11 @@ class PlacementService:
         self._by_status: Dict[str, int] = {}
         self._latencies_ms: List[float] = []
         self._started = time.monotonic()
+        # instance fingerprint -> request cache keys derived from it,
+        # so dynamic-session mutations can invalidate precisely.
+        self._fp_index: Dict[str, Set[str]] = {}
+        self._sessions: Dict[str, "DynamicPlacement"] = {}
+        self._session_seq = 0
 
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
@@ -149,11 +171,32 @@ class PlacementService:
 
     # -- the core call -------------------------------------------------
     def solve(self, request: SolveRequest) -> SolveResponse:
-        """Answer one request; request-level failures never raise."""
+        """Answer one request; request-level failures never raise.
+
+        Parameters
+        ----------
+        request:
+            The typed request.  ``request.solver=None`` auto-selects
+            from the documented fallback chain
+            (:mod:`repro.service.selection`); ``request.budget=None``
+            falls back to the service default;
+            ``request.include_assignments=False`` strips the placement
+            from the response (the cached entry keeps it).
+
+        Returns
+        -------
+        SolveResponse
+            Always well-formed: on success ``status="ok"`` with the
+            checker-validated placement and diagnostics (cache hit,
+            fingerprint, selection reason, solve/service latency); on
+            failure the registry status plus a structured
+            :class:`~repro.service.schema.ErrorInfo`.  Request-level
+            problems (unknown solver, nothing applicable) come back as
+            ``status="error"`` responses, never exceptions.
+        """
         t0 = time.perf_counter()
-        fp = request_fingerprint(
-            request.instance, request.solver, request.budget
-        )
+        inst_fp = instance_fingerprint(request.instance)
+        fp = combine_fingerprint(inst_fp, request.solver, request.budget)
 
         cached = self._cache.get(fp)
         if cached is not None:
@@ -192,6 +235,7 @@ class PlacementService:
                     ),
                 ),
             )
+            self._index_key(inst_fp, fp)
         if not request.include_assignments:
             response = replace(response, placement=None)
         self._record(response)
@@ -324,6 +368,165 @@ class PlacementService:
                 "in_auto_chain": s.name in AUTO_CHAIN,
             })
         return out
+
+    # -- dynamic sessions (online re-placement) ------------------------
+    def start_dynamic(
+        self, instance: ProblemInstance, solver: Optional[str] = None
+    ) -> str:
+        """Open an online re-placement session for ``instance``.
+
+        Parameters
+        ----------
+        instance:
+            The initial snapshot; it is solved immediately to seed the
+            session's standing placement.
+        solver:
+            Forwarded to :class:`~repro.dynamic.DynamicPlacement` —
+            ``None`` auto-selects the incremental backend.
+
+        Returns
+        -------
+        The session id to pass to :meth:`apply_events` /
+        :meth:`dynamic_session`.
+
+        Raises
+        ------
+        InfeasibleInstanceError
+            If the initial snapshot has no placement.
+        """
+        from ..dynamic import DynamicPlacement
+
+        engine = DynamicPlacement(instance, solver=solver)
+        with self._lock:
+            self._session_seq += 1
+            session_id = f"dyn-{self._session_seq}-{engine.fingerprint()[:8]}"
+            self._sessions[session_id] = engine
+        return session_id
+
+    def dynamic_session(self, session_id: str) -> "DynamicPlacement":
+        """The engine behind ``session_id`` (:class:`UnknownSessionError`)."""
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise UnknownSessionError(session_id) from None
+
+    def close_dynamic(self, session_id: str) -> None:
+        """Drop a session (idempotent); cached results stay valid."""
+        with self._lock:
+            self._sessions.pop(session_id, None)
+
+    def apply_events(
+        self, session_id: str, events: Sequence["ChangeEvent"]
+    ) -> "RepairOutcome":
+        """Fold events into a dynamic session, keeping the cache honest.
+
+        The session's instance is mutated by the events, so every
+        result cached under its *old* content fingerprint is
+        invalidated (the ``instance_fp -> request keys`` index makes
+        this precise — untouched instances keep their entries).  When
+        the repair succeeded in pure incremental mode with no failed
+        hosts, the repaired placement is seeded back into the cache
+        under the *new* fingerprint, so a follow-up :meth:`solve` of
+        the mutated instance is a hit instead of a re-solve.
+
+        Parameters
+        ----------
+        session_id:
+            Id returned by :meth:`start_dynamic`.
+        events:
+            A batch of :data:`~repro.dynamic.ChangeEvent`.
+
+        Returns
+        -------
+        The engine's :class:`~repro.dynamic.RepairOutcome`.
+
+        Raises
+        ------
+        UnknownSessionError
+            If ``session_id`` names no open session.
+        """
+        engine = self.dynamic_session(session_id)
+        old_fp = instance_fingerprint(engine.instance)
+        outcome = engine.apply(events)
+        new_fp = instance_fingerprint(engine.instance)
+        if new_fp != old_fp:
+            self._invalidate_instance(old_fp)
+        if (
+            outcome.ok
+            and outcome.mode == "incremental"
+            and not engine.failed_hosts
+            and outcome.placement is not None
+        ):
+            self._seed_cache(engine, new_fp, outcome)
+        return outcome
+
+    def _invalidate_instance(self, inst_fp: str) -> None:
+        with self._lock:
+            keys = self._fp_index.pop(inst_fp, set())
+        for key in keys:
+            self._cache.remove(key)
+
+    def _seed_cache(
+        self, engine: "DynamicPlacement", inst_fp: str, outcome: "RepairOutcome"
+    ) -> None:
+        """Pre-warm the result cache with an incremental repair result.
+
+        Valid because incremental repair provably equals a from-scratch
+        run of the same solver; seeding is skipped for repair/fallback
+        modes and failed-host states, whose semantics a plain solve
+        would not reproduce.  Seeds the explicit-solver key and, when
+        auto-selection would pick the same solver for this instance,
+        the ``solver=None`` key — so the common auto-path follow-up
+        ``solve`` is a hit too.
+        """
+        fp = combine_fingerprint(inst_fp, engine.solver_name, None)
+        response = SolveResponse(
+            status=Status.OK,
+            solver=engine.solver_name,
+            n_replicas=outcome.cost,
+            lower_bound=lower_bound(engine.instance),
+            placement=outcome.placement,
+            diagnostics=Diagnostics(
+                fingerprint=fp,
+                selection="dynamic",
+                selection_reason=(
+                    "seeded by apply_events incremental repair "
+                    f"(reused {outcome.stats.nodes_reused}/"
+                    f"{outcome.stats.nodes_total} subtrees)"
+                ),
+                solve_ms=outcome.repair_s * 1e3,
+                service_ms=outcome.repair_s * 1e3,
+            ),
+        )
+        self._cache.put(fp, response)
+        self._index_key(inst_fp, fp)
+        try:
+            auto_spec, _reason = select_solver(engine.instance, None)
+        except NoApplicableSolverError:  # pragma: no cover - defensive
+            return
+        if auto_spec.name == engine.solver_name:
+            auto_fp = combine_fingerprint(inst_fp, None, None)
+            self._cache.put(auto_fp, replace(response, diagnostics=replace(
+                response.diagnostics, fingerprint=auto_fp, selection="dynamic",
+            )))
+            self._index_key(inst_fp, auto_fp)
+
+    def _index_key(self, inst_fp: str, request_fp: str) -> None:
+        with self._lock:
+            self._fp_index.setdefault(inst_fp, set()).add(request_fp)
+            overgrown = len(self._fp_index) > max(64, 4 * self._cache.stats().max_entries)
+        if overgrown:
+            self._prune_fp_index()
+
+    def _prune_fp_index(self) -> None:
+        """Drop index entries whose cache keys were all evicted."""
+        with self._lock:
+            for inst_fp in list(self._fp_index):
+                live = {k for k in self._fp_index[inst_fp] if k in self._cache}
+                if live:
+                    self._fp_index[inst_fp] = live
+                else:
+                    del self._fp_index[inst_fp]
 
     # -- stats ---------------------------------------------------------
     def _ensure_pool(self) -> ThreadPoolExecutor:

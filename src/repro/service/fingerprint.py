@@ -19,7 +19,12 @@ from ..core.instance import ProblemInstance
 from ..instances.io import canonical_json, instance_to_dict
 from .schema import SolveRequest
 
-__all__ = ["instance_fingerprint", "request_fingerprint", "fingerprint_for"]
+__all__ = [
+    "instance_fingerprint",
+    "request_fingerprint",
+    "combine_fingerprint",
+    "fingerprint_for",
+]
 
 
 def instance_fingerprint(instance: ProblemInstance) -> str:
@@ -59,8 +64,21 @@ def request_fingerprint(
     ``request_id`` deliberately do not participate: they change the
     envelope, not the answer.
     """
+    return combine_fingerprint(instance_fingerprint(instance), solver, budget)
+
+
+def combine_fingerprint(
+    instance_fp: str,
+    solver: Optional[str] = None,
+    budget: Optional[int] = None,
+) -> str:
+    """:func:`request_fingerprint` from an already-computed instance fp.
+
+    Lets the service hash each instance once per request while keeping
+    an ``instance_fp -> request keys`` index for targeted invalidation.
+    """
     payload = {
-        "instance": instance_fingerprint(instance),
+        "instance": instance_fp,
         "solver": solver,
         "budget": budget,
     }

@@ -1,12 +1,28 @@
-"""Discrete-event request-serving simulator."""
+"""Discrete-event request-serving simulator and online re-placement runs.
+
+Two modes:
+
+* **offline** — :func:`simulate` replays a request trace against one
+  fixed placement (latencies, per-unit loads, overload accounting);
+* **online** — :func:`run_online` replays a *change-event* trace
+  against the :mod:`repro.dynamic` engine and measures repair latency
+  against from-scratch re-solve latency (see ``docs/simulation.md``).
+
+Traffic generators live in :mod:`~repro.simulate.workload`, failure
+injection and greedy repair in :mod:`~repro.simulate.failures`.
+"""
 
 from .engine import SimulationResult, simulate
 from .events import EventQueue
 from .failures import RepairResult, failure_study, repair_placement
 from .metrics import ascii_histogram, latency_histogram, utilisation_table
+from .online import OnlineResult, OnlineStep, run_online
 from .workload import Request, deterministic_trace, iter_units, poisson_trace
 
 __all__ = [
+    "OnlineResult",
+    "OnlineStep",
+    "run_online",
     "EventQueue",
     "Request",
     "deterministic_trace",

@@ -1,0 +1,216 @@
+"""Online-mode simulation: drive a :class:`DynamicPlacement` with events.
+
+The offline simulator replays a request trace against one fixed
+placement; the online mode instead replays a *change-event* trace
+against the re-placement engine and measures what operating a standing
+placement costs:
+
+* **repair latency** — wall time of the incremental :meth:`apply`;
+* **resolve latency** — wall time of a cold from-scratch solve of the
+  same snapshot (measured every step for the repair-vs-resolve
+  comparison);
+* **cost parity** — whether the incrementally repaired placement
+  matches the cold solve's replica count (it must, whenever the engine
+  reports ``incremental`` mode — that invariant is property-tested);
+* **repair success rate** and fallback counts.
+
+:func:`run_online` returns an :class:`OnlineResult` of per-step rows;
+:func:`repro.analysis.online_report` renders the summary table the CLI
+prints for ``repro simulate --online``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.instance import ProblemInstance
+from ..dynamic import (
+    ChangeEvent,
+    DynamicPlacement,
+    describe_events,
+    random_event_trace,
+)
+
+__all__ = ["OnlineStep", "OnlineResult", "run_online"]
+
+
+@dataclass(frozen=True)
+class OnlineStep:
+    """One event batch folded into the standing placement."""
+
+    step: int
+    events: str
+    mode: str
+    ok: bool
+    repair_s: float
+    resolve_s: float
+    cost: Optional[int]
+    cost_full: Optional[int]
+    nodes_reused: int
+    nodes_recomputed: int
+    fallback_reason: Optional[str] = None
+    error: Optional[str] = None
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """Cold-resolve time over repair time (>1 means repair wins)."""
+        if not self.ok or self.repair_s <= 0:
+            return None
+        return self.resolve_s / self.repair_s
+
+    @property
+    def cost_matches(self) -> Optional[bool]:
+        """Did incremental repair match the cold solve's objective?"""
+        if self.cost is None or self.cost_full is None:
+            return None
+        return self.cost == self.cost_full
+
+
+@dataclass
+class OnlineResult:
+    """Aggregated outcome of one online run."""
+
+    solver: str
+    n_nodes: int
+    steps: List[OnlineStep] = field(default_factory=list)
+
+    # -- aggregates ----------------------------------------------------
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def n_ok(self) -> int:
+        return sum(1 for s in self.steps if s.ok)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of event batches the engine repaired successfully."""
+        return self.n_ok / self.n_steps if self.steps else 0.0
+
+    @property
+    def n_fallbacks(self) -> int:
+        return sum(1 for s in self.steps if s.mode != "incremental")
+
+    @property
+    def speedups(self) -> List[float]:
+        return [s.speedup for s in self.steps if s.speedup is not None]
+
+    @property
+    def mean_speedup(self) -> float:
+        sp = self.speedups
+        return sum(sp) / len(sp) if sp else 0.0
+
+    @property
+    def median_speedup(self) -> float:
+        sp = sorted(self.speedups)
+        return sp[len(sp) // 2] if sp else 0.0
+
+    @property
+    def cost_match_rate(self) -> float:
+        """Fraction of comparable steps with incremental == cold cost."""
+        comparable = [s.cost_matches for s in self.steps if s.cost_matches is not None]
+        if not comparable:
+            return 1.0
+        return sum(comparable) / len(comparable)
+
+    @property
+    def cost_drift(self) -> int:
+        """Total extra replicas incremental repair paid over cold solves."""
+        return sum(
+            (s.cost - s.cost_full)
+            for s in self.steps
+            if s.cost is not None and s.cost_full is not None
+        )
+
+    @property
+    def total_repair_s(self) -> float:
+        return sum(s.repair_s for s in self.steps)
+
+    @property
+    def total_resolve_s(self) -> float:
+        return sum(s.resolve_s for s in self.steps)
+
+    def summary(self) -> str:
+        """One-paragraph human summary (the CLI's closing line)."""
+        return (
+            f"online[{self.solver}] {self.n_ok}/{self.n_steps} repairs ok "
+            f"({self.success_rate * 100:.0f}%), {self.n_fallbacks} fallbacks; "
+            f"repair {self.total_repair_s * 1e3:.1f}ms vs resolve "
+            f"{self.total_resolve_s * 1e3:.1f}ms "
+            f"(speedup mean {self.mean_speedup:.2f}x median "
+            f"{self.median_speedup:.2f}x); cost parity "
+            f"{self.cost_match_rate * 100:.0f}%, drift {self.cost_drift:+d} replicas"
+        )
+
+
+def run_online(
+    instance: ProblemInstance,
+    *,
+    steps: int = 20,
+    events_per_step: int = 1,
+    seed: int = 0,
+    p_fail: float = 0.0,
+    p_capacity: float = 0.0,
+    solver: Optional[str] = None,
+    compare_full: bool = True,
+    trace: Optional[Sequence[Sequence[ChangeEvent]]] = None,
+) -> Tuple[DynamicPlacement, OnlineResult]:
+    """Drive a fresh engine through a (generated or given) event trace.
+
+    Parameters
+    ----------
+    instance:
+        The initial snapshot (solved cold to seed the engine).
+    steps / events_per_step / seed / p_fail / p_capacity:
+        Trace-generation knobs, forwarded to
+        :func:`repro.dynamic.random_event_trace` when ``trace`` is not
+        supplied.
+    solver:
+        Engine solver choice (see :class:`DynamicPlacement`).
+    compare_full:
+        When True (default) every step also runs a cold from-scratch
+        solve for the repair-vs-resolve comparison; disable to measure
+        pure repair throughput.
+
+    Returns
+    -------
+    ``(engine, result)`` — the engine (standing placement, failed
+    hosts) and the per-step measurement rows.
+    """
+    engine = DynamicPlacement(instance, solver=solver)
+    if trace is None:
+        trace = random_event_trace(
+            instance,
+            steps=steps,
+            events_per_step=events_per_step,
+            seed=seed,
+            p_fail=p_fail,
+            p_capacity=p_capacity,
+        )
+    result = OnlineResult(solver=engine.solver_name, n_nodes=len(instance.tree))
+    for k, batch in enumerate(trace):
+        outcome = engine.apply(batch)
+        resolve_s = 0.0
+        cost_full = None
+        if compare_full:
+            cold, resolve_s = engine.resolve_full()
+            cost_full = cold.n_replicas if cold is not None else None
+        result.steps.append(
+            OnlineStep(
+                step=k,
+                events=describe_events(batch),
+                mode=outcome.mode,
+                ok=outcome.ok,
+                repair_s=outcome.repair_s,
+                resolve_s=resolve_s,
+                cost=outcome.cost,
+                cost_full=cost_full,
+                nodes_reused=outcome.stats.nodes_reused,
+                nodes_recomputed=outcome.stats.nodes_recomputed,
+                fallback_reason=outcome.fallback_reason,
+                error=outcome.error,
+            )
+        )
+    return engine, result

@@ -107,3 +107,47 @@ class TestRenderAndInfo:
         out = capsys.readouterr().out
         assert "Single-Bin" in out
         assert "lower bound" in out
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        # Semantic-version shaped, sourced from package metadata.
+        assert out.split()[1].count(".") == 2
+
+    def test_verb_help_points_at_docs(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--help"])
+        assert "docs/simulation.md" in capsys.readouterr().out
+
+
+class TestSimulateOnline:
+    def test_online_prints_report(self, tmp_path, capsys):
+        from repro import Policy
+        from repro.instances import dump_instance, random_tree
+
+        inst = random_tree(8, 16, capacity=6, dmax=None, seed=9).with_policy(
+            Policy.MULTIPLE
+        )
+        path = str(tmp_path / "nod.json")
+        dump_instance(inst, path)
+        rc = main(
+            ["simulate", path, "--online", "--steps", "6", "--p-fail", "0.1"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "Online repair vs full re-solve" in captured.out
+        assert "cost parity" in captured.out
+
+    def test_online_rejects_placement_argument(self, inst_file, capsys):
+        rc = main(["simulate", inst_file, inst_file, "--online"])
+        assert rc == 2
+
+    def test_offline_without_placement_errors(self, inst_file, capsys):
+        rc = main(["simulate", inst_file])
+        assert rc == 2
+        assert "placement file" in capsys.readouterr().err

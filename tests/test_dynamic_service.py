@@ -1,0 +1,137 @@
+"""Service-layer dynamic sessions: apply_events + cache invalidation.
+
+Regression coverage for the contract in
+:meth:`repro.service.PlacementService.apply_events`: mutating a
+session's instance must invalidate exactly the result-cache entries
+keyed to its old content fingerprint, and a pure-incremental repair
+seeds the cache under the new fingerprint.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Policy
+from repro.dynamic import CapacityEvent, DemandEvent, FailureEvent
+from repro.instances import random_tree
+from repro.service import PlacementService, UnknownSessionError
+
+
+@pytest.fixture
+def multiple_instance():
+    return random_tree(8, 16, capacity=6, dmax=None, seed=7).with_policy(
+        Policy.MULTIPLE
+    )
+
+
+def _bump_leaf_event(instance):
+    c = sorted(instance.tree.clients)[0]
+    return DemandEvent(c, (instance.tree.requests(c) + 1) % instance.capacity)
+
+
+class TestDynamicSessions:
+    def test_start_apply_and_introspect(self, multiple_instance):
+        with PlacementService() as svc:
+            sid = svc.start_dynamic(multiple_instance)
+            engine = svc.dynamic_session(sid)
+            assert engine.placement is not None
+            outcome = svc.apply_events(
+                sid, [_bump_leaf_event(multiple_instance)]
+            )
+            assert outcome.ok and outcome.mode == "incremental"
+
+    def test_unknown_session_raises(self, multiple_instance):
+        with PlacementService() as svc:
+            with pytest.raises(UnknownSessionError):
+                svc.apply_events("nope", [])
+            with pytest.raises(UnknownSessionError):
+                svc.dynamic_session("nope")
+
+    def test_close_dynamic_is_idempotent(self, multiple_instance):
+        with PlacementService() as svc:
+            sid = svc.start_dynamic(multiple_instance)
+            svc.close_dynamic(sid)
+            svc.close_dynamic(sid)
+            with pytest.raises(UnknownSessionError):
+                svc.dynamic_session(sid)
+
+
+class TestCacheInvalidation:
+    def test_old_fingerprint_entries_are_invalidated(self, multiple_instance):
+        with PlacementService() as svc:
+            first = svc.solve_instance(multiple_instance, "multiple-nod-dp")
+            assert first.ok and not first.diagnostics.cache_hit
+            again = svc.solve_instance(multiple_instance, "multiple-nod-dp")
+            assert again.diagnostics.cache_hit
+
+            sid = svc.start_dynamic(multiple_instance)
+            svc.apply_events(sid, [_bump_leaf_event(multiple_instance)])
+
+            # The entry keyed by the pre-event content must be gone:
+            # the session's instance *is* that content, mutated.
+            after = svc.solve_instance(multiple_instance, "multiple-nod-dp")
+            assert not after.diagnostics.cache_hit
+
+    def test_incremental_repair_seeds_new_fingerprint(self, multiple_instance):
+        with PlacementService() as svc:
+            sid = svc.start_dynamic(multiple_instance)
+            outcome = svc.apply_events(
+                sid, [_bump_leaf_event(multiple_instance)]
+            )
+            assert outcome.ok and outcome.mode == "incremental"
+            mutated = svc.dynamic_session(sid).instance
+            seeded = svc.solve_instance(mutated, "multiple-nod-dp")
+            assert seeded.diagnostics.cache_hit
+            assert seeded.n_replicas == outcome.cost
+            assert seeded.diagnostics.selection == "dynamic"
+
+    def test_auto_solver_requests_hit_seeded_entry(self, multiple_instance):
+        # Auto-selection picks multiple-nod-dp for this (non-binary)
+        # Multiple-NoD instance, so the solver=None key must be seeded
+        # too — the common follow-up path is an auto solve.
+        assert multiple_instance.tree.arity > 2
+        with PlacementService() as svc:
+            sid = svc.start_dynamic(multiple_instance)
+            outcome = svc.apply_events(
+                sid, [_bump_leaf_event(multiple_instance)]
+            )
+            assert outcome.mode == "incremental"
+            mutated = svc.dynamic_session(sid).instance
+            auto = svc.solve_instance(mutated)  # no solver named
+            assert auto.diagnostics.cache_hit
+            assert auto.solver == "multiple-nod-dp"
+            assert auto.n_replicas == outcome.cost
+
+    def test_failed_host_states_are_not_seeded(self, multiple_instance):
+        with PlacementService() as svc:
+            sid = svc.start_dynamic(multiple_instance)
+            victim = multiple_instance.tree.internal_nodes[1]
+            outcome = svc.apply_events(sid, [FailureEvent(victim)])
+            assert outcome.ok
+            # A plain solve of the mutated instance would not know about
+            # the failure, so its answer must be computed, not seeded.
+            mutated = svc.dynamic_session(sid).instance
+            resp = svc.solve_instance(mutated, "multiple-nod-dp")
+            assert not resp.diagnostics.cache_hit
+
+    def test_unrelated_instance_entries_survive(self, multiple_instance):
+        other = random_tree(6, 12, capacity=8, dmax=None, seed=42).with_policy(
+            Policy.MULTIPLE
+        )
+        with PlacementService() as svc:
+            svc.solve_instance(other, "multiple-nod-dp")
+            sid = svc.start_dynamic(multiple_instance)
+            svc.apply_events(sid, [_bump_leaf_event(multiple_instance)])
+            kept = svc.solve_instance(other, "multiple-nod-dp")
+            assert kept.diagnostics.cache_hit
+
+    def test_capacity_event_invalidates_too(self, multiple_instance):
+        with PlacementService() as svc:
+            svc.solve_instance(multiple_instance, "multiple-nod-dp")
+            sid = svc.start_dynamic(multiple_instance)
+            outcome = svc.apply_events(
+                sid, [CapacityEvent(multiple_instance.capacity + 1)]
+            )
+            assert outcome.ok
+            stale = svc.solve_instance(multiple_instance, "multiple-nod-dp")
+            assert not stale.diagnostics.cache_hit

@@ -1,0 +1,74 @@
+"""Online simulation mode and the repair-vs-resolve report."""
+
+from __future__ import annotations
+
+from repro import Policy
+from repro.analysis import online_report, render_online_table
+from repro.instances import random_tree
+from repro.simulate import run_online
+
+
+class TestRunOnline:
+    def test_multiple_backend_full_parity(self):
+        inst = random_tree(10, 20, capacity=6, dmax=None, seed=3).with_policy(
+            Policy.MULTIPLE
+        )
+        engine, result = run_online(
+            inst, steps=12, seed=1, p_fail=0.1, p_capacity=0.05
+        )
+        assert result.n_steps == 12
+        assert result.solver == "multiple-nod-dp"
+        for step in result.steps:
+            if step.ok and step.mode == "incremental":
+                assert step.cost_matches is True
+        assert result.cost_match_rate == 1.0
+        assert engine.placement is not None or result.n_ok < result.n_steps
+
+    def test_compare_full_off_skips_cold_solves(self):
+        inst = random_tree(8, 16, capacity=8, dmax=None, seed=2)
+        _engine, result = run_online(inst, steps=5, seed=0, compare_full=False)
+        assert all(s.cost_full is None for s in result.steps)
+        assert all(s.resolve_s == 0.0 for s in result.steps)
+        assert result.cost_match_rate == 1.0  # vacuous, no comparisons
+
+    def test_explicit_trace_is_honoured(self):
+        from repro.dynamic import DemandEvent
+
+        inst = random_tree(8, 16, capacity=8, dmax=None, seed=2)
+        c = sorted(inst.tree.clients)[0]
+        _engine, result = run_online(
+            inst, trace=[[DemandEvent(c, 1)], [DemandEvent(c, 2)]]
+        )
+        assert result.n_steps == 2
+        assert f"demand[{c}]=1" in result.steps[0].events
+
+    def test_summary_mentions_success_and_speedup(self):
+        inst = random_tree(8, 16, capacity=8, dmax=None, seed=4)
+        _engine, result = run_online(inst, steps=4, seed=1)
+        text = result.summary()
+        assert "repairs ok" in text and "speedup" in text
+
+
+class TestOnlineReport:
+    def test_report_contains_headline_sections(self):
+        inst = random_tree(10, 20, capacity=6, dmax=None, seed=5).with_policy(
+            Policy.MULTIPLE
+        )
+        _engine, result = run_online(inst, steps=8, seed=2, p_fail=0.2)
+        text = online_report(result)
+        assert "Online repair vs full re-solve" in text
+        assert "cost parity" in text
+        assert "repair success rate" in text
+        assert "speedup" in text
+
+    def test_table_truncates_at_limit(self):
+        inst = random_tree(8, 16, capacity=8, dmax=None, seed=6)
+        _engine, result = run_online(inst, steps=10, seed=3)
+        table = render_online_table(result.steps, limit=4)
+        assert "... 6 more steps" in table
+
+    def test_fallback_reason_surfaces_for_dmax(self):
+        inst = random_tree(8, 16, capacity=8, dmax=6.0, seed=2)
+        _engine, result = run_online(inst, steps=3, seed=1)
+        text = online_report(result)
+        assert "distance constraint" in text

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Documentation gate: link-check docs/ + README, doctest docs/*.md.
+
+Two checks, both zero-dependency:
+
+1. **Links** — every relative markdown link in ``docs/*.md`` and
+   ``README.md`` must resolve to an existing file.  External links
+   (``http(s)://``), pure anchors (``#...``) and GitHub-relative paths
+   that climb out of the repository (the CI badge) are skipped.
+2. **Doctests** — every ``>>>`` example in ``docs/*.md`` is executed
+   with :mod:`doctest`, so the documentation's code snippets cannot rot
+   silently.
+
+Exit status 0 when everything passes; 1 with a findings list otherwise.
+Run from anywhere: ``python tools/check_docs.py``.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_links(paths: list[Path]) -> list[str]:
+    problems: list[str] = []
+    for path in paths:
+        text = path.read_text(encoding="utf-8")
+        for target in _LINK.findall(text):
+            if "://" in target or target.startswith("#"):
+                continue
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue
+            resolved = (path.parent / target_path).resolve()
+            try:
+                resolved.relative_to(REPO_ROOT)
+            except ValueError:
+                continue  # GitHub-relative (e.g. the CI badge), not local
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(REPO_ROOT)}: broken link -> {target}"
+                )
+    return problems
+
+
+def run_doctests(paths: list[Path]) -> list[str]:
+    problems: list[str] = []
+    for path in paths:
+        result = doctest.testfile(
+            str(path),
+            module_relative=False,
+            optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+            verbose=False,
+        )
+        label = path.relative_to(REPO_ROOT)
+        if result.failed:
+            problems.append(
+                f"{label}: {result.failed}/{result.attempted} doctests failed"
+            )
+        else:
+            print(f"  {label}: {result.attempted} doctests ok")
+    return problems
+
+
+def main() -> int:
+    docs = sorted((REPO_ROOT / "docs").glob("*.md"))
+    if not docs:
+        print("no docs/*.md found", file=sys.stderr)
+        return 1
+    pages = docs + [REPO_ROOT / "README.md"]
+    print(f"link-checking {len(pages)} pages ...")
+    problems = check_links(pages)
+    print(f"doctesting {len(docs)} docs pages ...")
+    problems += run_doctests(docs)
+    if problems:
+        for p in problems:
+            print(f"FAIL: {p}", file=sys.stderr)
+        return 1
+    print("docs ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
