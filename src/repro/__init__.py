@@ -54,6 +54,7 @@ from .algorithms import (
 )
 from .core import (
     Assignment,
+    FlatTree,
     InfeasibleInstanceError,
     InvalidInstanceError,
     InvalidPlacementError,
@@ -68,6 +69,7 @@ from .core import (
     Tree,
     TreeBuilder,
     check_placement,
+    flat_tree,
     is_valid,
     lower_bound,
     placement_violations,
@@ -80,7 +82,7 @@ from .runner import (
 )
 from .runner import solve as solve_registered
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 # Service- and dynamic-layer names are re-exported lazily (PEP 562) so
 # lightweight consumers — `repro generate`, plain algorithm imports —
@@ -125,6 +127,8 @@ __all__ = [
     # model
     "Tree",
     "TreeBuilder",
+    "FlatTree",
+    "flat_tree",
     "ProblemInstance",
     "Placement",
     "Assignment",

@@ -27,6 +27,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Tuple
 
+from ..core.arrays import flat_tree
 from ..core.errors import InfeasibleInstanceError
 from ..core.instance import ProblemInstance
 from ..core.placement import Placement
@@ -121,6 +122,26 @@ def multiple_greedy(instance: ProblemInstance) -> Placement:
     ``W``, absorbing the most-constrained prefix.  Remaining triples that
     still cannot travel are served at their own client node (valid: the
     residual amount of a client never exceeds ``r_i ≤ W``).
+
+    Parameters
+    ----------
+    instance:
+        Any Multiple-policy instance with ``r_i ≤ W``; works with or
+        without a distance constraint.
+
+    Returns
+    -------
+    Placement
+        A checker-valid placement.  The hot loop runs on the flat
+        post-order substrate but is bit-identical to the object-graph
+        baseline
+        :func:`repro.algorithms.reference.multiple_greedy_reference`
+        (property-tested in ``tests/test_arrays.py``).
+
+    Raises
+    ------
+    InfeasibleInstanceError
+        If some client demands more than ``W``.
     """
     tree = instance.tree
     W = instance.capacity
@@ -131,9 +152,24 @@ def multiple_greedy(instance: ProblemInstance) -> Placement:
         )
     dmax = math.inf if instance.dmax is None else float(instance.dmax)
 
-    n = len(tree)
-    root = tree.root
-    in_R = [False] * n
+    # Hot loop on the flat substrate: post positions 0..n-1 are already
+    # children-first, per-node data are contiguous array reads, and the
+    # child walk is the first_child/next_sibling chain.  Triples carry
+    # *original* client ids so assignments need no translation.
+    # Bit-identical to the object-graph baseline
+    # (repro.algorithms.reference.multiple_greedy_reference): every
+    # node's result is a pure function of its children's pending lists,
+    # the merge respects child order and the sort is stable.
+    ft = flat_tree(tree)
+    n = ft.n
+    root = ft.root
+    demand = ft.demand
+    delta = ft.delta
+    first_child = ft.first_child
+    next_sibling = ft.next_sibling
+    post_to_orig = ft.post_to_orig
+
+    in_R = [False] * n  # indexed by original node id
     assignments: Dict[Tuple[int, int], int] = {}
     pending: List[List[Tuple[float, int, int]]] = [[] for _ in range(n)]
 
@@ -143,29 +179,32 @@ def multiple_greedy(instance: ProblemInstance) -> Placement:
             if w > 0:
                 assignments[(i, at)] = assignments.get((i, at), 0) + w
 
-    for j in tree.postorder():
-        if tree.is_leaf(j):
-            r = tree.requests(j)
+    for j in range(n):
+        if first_child[j] < 0:
+            r = demand[j]
             if r == 0:
                 continue
-            if j == root or tree.delta(j) > dmax:
-                serve(j, [(0.0, r, j)])
+            i = post_to_orig[j]
+            if j == root or delta[j] > dmax:
+                serve(i, [(0.0, r, i)])
             else:
-                pending[j] = [(0.0, r, j)]
+                pending[j] = [(0.0, r, i)]
             continue
 
         temp: List[Tuple[float, int, int]] = []
-        for child in tree.children(j):
-            dc = tree.delta(child)
+        child = first_child[j]
+        while child >= 0:
+            dc = delta[child]
             temp.extend((d + dc, w, i) for (d, w, i) in pending[child])
             pending[child] = []
+            child = next_sibling[child]
         if not temp:
             continue
         temp.sort(key=lambda t: -t[0])
         wtot = sum(w for (_d, w, _i) in temp)
         is_root = j == root
 
-        if is_root or temp[0][0] + tree.delta(j) > dmax or wtot > W:
+        if is_root or temp[0][0] + delta[j] > dmax or wtot > W:
             absorbed: List[Tuple[float, int, int]] = []
             wproc = 0
             k = 0
@@ -178,16 +217,16 @@ def multiple_greedy(instance: ProblemInstance) -> Placement:
                 else:
                     k += 1
                 wproc += take
-            serve(j, absorbed)
+            serve(post_to_orig[j], absorbed)
             temp = temp[k:]
 
         # Leftovers that cannot travel upward are sent back to their own
         # client nodes (self-serving is always distance-feasible).
-        if temp and (is_root or temp[0][0] + tree.delta(j) > dmax):
+        if temp and (is_root or temp[0][0] + delta[j] > dmax):
             stuck: List[Tuple[float, int, int]] = []
             moving: List[Tuple[float, int, int]] = []
             for (d, w, i) in temp:
-                if is_root or d + tree.delta(j) > dmax:
+                if is_root or d + delta[j] > dmax:
                     stuck.append((d, w, i))
                 else:
                     moving.append((d, w, i))
@@ -196,5 +235,5 @@ def multiple_greedy(instance: ProblemInstance) -> Placement:
             temp = moving
         pending[j] = temp
 
-    replicas = [v for v in range(n) if in_R[v]]
+    replicas = [v for v in range(len(tree)) if in_R[v]]
     return Placement(replicas, assignments)

@@ -1,4 +1,4 @@
-"""Exact dynamic program for Multiple-NoD.
+"""Exact dynamic program for Multiple-NoD, on the flat-array substrate.
 
 The paper uses as known background (its reference [3], Benoit,
 Rehn-Sonigo & Robert 2008) that **Multiple without distance
@@ -30,16 +30,48 @@ depth), besides the subtree demand itself.
 * The answer is ``g_root(0)``; placements are reconstructed by
   backtracking the argmins of every convolution and absorb choice.
 
-Complexity ``O(|T| · D²)`` where ``D`` is the total demand —
-pseudo-polynomial, exact, and fast for the demand scales of the
-benchmark suite.  (The paper's framework treats request counts as
-integers, which this DP requires.)
+Data layout and the monotone fast path
+--------------------------------------
+The hot loop runs on the :class:`~repro.core.arrays.FlatTree` compiled
+from the instance's tree: post-order positions replace the object
+traversal, so the bottom-up pass is ``for p in range(n)`` over
+contiguous ``demand`` / ``depth`` / ``subtree_demand`` arrays with
+children reached through ``first_child`` / ``next_sibling`` chains.
+
+Every DP table is a **non-increasing step function** (forwarding more
+can never require more local replicas; see the invariants note below),
+which the convolution and absorb kernels exploit:
+
+* :func:`_min_plus_mono` decomposes the child table into its constant
+  *levels* and convolves per level — ``O(L · |pool|)`` where ``L`` is
+  the number of distinct replica counts, instead of the quadratic
+  ``O(|g_child| · |pool|)`` of the general kernel;
+* the absorb step reads the window minimum straight off the pool's
+  level structure — ``min`` over ``(u, u+W]`` of a non-increasing
+  table is its rightmost entry — in O(1) amortised per ``u`` instead
+  of O(W).
+
+Invariants
+----------
+The flat path is **bit-identical** to the original object-graph
+formulation (preserved as
+:func:`repro.algorithms.reference.multiple_nod_dp_reference`): both
+kernels break argmin ties toward the smallest split / absorb index, so
+every table, every argmin and hence the reconstructed placement are
+exactly equal — property-tested in ``tests/test_arrays.py`` and
+benchmarked by ``repro bench`` (``docs/performance.md``).
+
+Complexity ``O(|T| · D · L)`` with total demand ``D`` and replica-count
+diversity ``L ≤ |R_opt|`` — pseudo-polynomial, exact, and fast for the
+demand scales of the benchmark suite.  (The paper's framework treats
+request counts as integers, which this DP requires.)
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..core.arrays import flat_tree
 from ..core.errors import PolicyError
 from ..core.instance import ProblemInstance
 from ..core.placement import Placement
@@ -56,8 +88,20 @@ def _min_plus(
 ) -> Tuple[List[float], List[Optional[int]]]:
     """Min-plus convolution ``c(U) = min_j a(j) + b(U-j)``, ``U ≤ cap``.
 
-    Returns the table and, for reconstruction, the argmin split point
-    (the amount taken from ``a``) for each ``U``.
+    The general quadratic kernel: no assumption on ``a`` or ``b``.
+
+    Parameters
+    ----------
+    a, b:
+        Cost tables (``inf`` marks infeasible entries).
+    cap:
+        Largest ``U`` of interest; the output is truncated to it.
+
+    Returns
+    -------
+    ``(out, arg)`` — the convolved table and, for reconstruction, the
+    argmin split point (the amount taken from ``a``) for each ``U``;
+    ties break toward the smallest split.
     """
     n = min(len(a) + len(b) - 1, cap + 1)
     out = [_INF] * n
@@ -74,6 +118,210 @@ def _min_plus(
     return out, arg
 
 
+def _levels(table: List[float]) -> List[Tuple[int, int, float]]:
+    """Constant runs of a non-increasing table, infinite prefix dropped.
+
+    Parameters
+    ----------
+    table:
+        A non-increasing cost table (every DP table is one).
+
+    Returns
+    -------
+    ``[(start, end, value), ...]`` with inclusive index bounds, ordered
+    by ascending ``start`` (hence strictly descending finite ``value``).
+    """
+    out: List[Tuple[int, int, float]] = []
+    prev = _INF
+    start = 0
+    for j, v in enumerate(table):
+        if v != prev:
+            if prev != _INF:
+                out.append((start, j - 1, prev))
+            prev = v
+            start = j
+    if prev != _INF:
+        out.append((start, len(table) - 1, prev))
+    return out
+
+
+def _min_plus_mono(
+    a: List[float], b: List[float], cap: int
+) -> Tuple[List[float], List[Optional[int]]]:
+    """:func:`_min_plus` specialised to **non-increasing** ``a``.
+
+    Decomposes ``a`` into its constant levels: within one level the
+    cheapest split is always the level's left edge (a smaller ``j``
+    leaves more to ``b``, whose cost is non-increasing), so only level
+    starts — clamped to ``b``'s reach — compete per output index.
+
+    Parameters
+    ----------
+    a:
+        Non-increasing cost table (infinite prefix allowed).  **The
+        caller guarantees monotonicity**; it is not checked.  As with
+        :func:`_absorb_step`, non-increasing means every ``inf`` is a
+        prefix — infinite entries *after* a finite one break the level
+        decomposition and yield silently wrong minima.
+    b, cap:
+        As in :func:`_min_plus`; ``b`` need not be monotone for
+        correctness of the minima, but tie-breaking identity with the
+        general kernel additionally requires non-increasing ``b``
+        (both hold for every DP pool).
+
+    Returns
+    -------
+    ``(out, arg)`` — exactly what ``_min_plus(a, b, cap)`` returns,
+    including tie-breaking toward the smallest split; property-tested
+    against the general kernel in ``tests/test_arrays.py``.
+    """
+    n = min(len(a) + len(b) - 1, cap + 1)
+    out = [_INF] * n
+    arg: List[Optional[int]] = [None] * n
+    b_last = len(b) - 1
+    for (j0, j1, av) in _levels(a):
+        if j0 >= n:
+            break
+        # Unclamped: split j0 serves U = j0 .. j0 + b_last.
+        hi_k = b_last if b_last <= n - 1 - j0 else n - 1 - j0
+        for k in range(hi_k + 1):
+            val = av + b[k]
+            U = j0 + k
+            if val < out[U]:
+                out[U] = val
+                arg[U] = j0
+        # Clamped: for U beyond j0 + b_last the split must move right
+        # with U (j = U - b_last) while it stays inside this level.
+        u_hi = j1 + b_last
+        if u_hi > n - 1:
+            u_hi = n - 1
+        if b_last >= 0:
+            vb = av + b[b_last]
+            for U in range(j0 + b_last + 1, u_hi + 1):
+                if vb < out[U]:
+                    out[U] = vb
+                    arg[U] = U - b_last
+    return out, arg
+
+
+def _absorb_step(
+    pool: List[float], u_cap: int, W: int, can_host: bool = True
+) -> Tuple[List[float], List[Optional[int]]]:
+    """The DP's absorb step over a **non-increasing** pool.
+
+    Computes ``table[u] = min(pool[u], 1 + min_{u < U ≤ u+W} pool[U])``
+    in O(1) amortised per ``u``: the pool is non-increasing, so the
+    window minimum over ``(u, u+W]`` sits at its right edge, and the
+    *first* index holding that value is the start of that edge's level
+    (clamped into the window) — exactly the argmin the ascending scan
+    of the object-graph formulation settles on.
+
+    Parameters
+    ----------
+    pool:
+        The children pool (non-increasing; **not checked**).  Note that
+        non-increasing implies every ``inf`` entry forms a *prefix*: a
+        pool with an infinite entry after a finite one violates the
+        precondition, and the level scan would then silently skip
+        absorb candidates whose window edge lands past the finite
+        region.  All DP pools satisfy the invariant by construction
+        (min-plus of inf-prefix monotone tables is inf-prefix
+        monotone).
+    u_cap:
+        Largest forward amount of interest (table length − 1).
+    W:
+        Server capacity — the absorb window width.
+    can_host:
+        False forbids a replica here (the incremental DP's failed-host
+        case): the table is the pool truncated to ``u_cap``, with every
+        ``chose`` entry ``None``.
+
+    Returns
+    -------
+    ``(table, chose)`` — the node table and the chosen absorb source
+    per ``u`` (``None`` = no replica at this node), bit-identical to
+    the original quadratic scan.
+    """
+    table = [_INF] * (u_cap + 1)
+    chose: List[Optional[int]] = [None] * (u_cap + 1)
+    lp = len(pool)
+    if not can_host:
+        for u in range(u_cap + 1 if u_cap + 1 < lp else lp):
+            table[u] = pool[u]
+        return table, chose
+
+    plevels = _levels(pool)
+    nlev = len(plevels)
+    li = 0
+    for u in range(u_cap + 1):
+        best = pool[u] if u < lp else _INF
+        pick: Optional[int] = None
+        hi = u + W
+        if hi > lp - 1:
+            hi = lp - 1
+        if hi >= u + 1:
+            while li < nlev and plevels[li][1] < hi:
+                li += 1
+            if li < nlev and plevels[li][0] <= hi:
+                s, _e, pv = plevels[li]
+                val = pv + 1.0
+                if val < best:
+                    best = val
+                    pick = s if s > u else u + 1
+        table[u] = best
+        chose[u] = pick
+    return table, chose
+
+
+def _fold_node_tables(
+    g: List[Optional[List[float]]],
+    first_child: List[int],
+    next_sibling: List[int],
+    p: int,
+    W: int,
+    u_cap: int,
+    pool_cap: int,
+) -> Tuple[
+    List[float],
+    List[Tuple[int, List[Optional[int]]]],
+    List[Optional[int]],
+]:
+    """One internal-node DP fold on the flat substrate.
+
+    Convolves the children's tables into the pool with the monotone
+    kernel, then applies :func:`_absorb_step`.
+
+    Parameters
+    ----------
+    g:
+        Per-post-position DP tables (children of ``p`` already folded).
+    first_child, next_sibling:
+        The FlatTree child chains.
+    p:
+        Post position of the internal node being folded.
+    W:
+        Server capacity.
+    u_cap, pool_cap:
+        Forward-amount caps for the node table and the children pool.
+
+    Returns
+    -------
+    ``(table, args, chose)`` — the node's table, the per-child
+    convolution argmins (in child order, keyed by child post position)
+    and the chosen absorb source per ``u`` (``None`` = no replica) —
+    all bit-identical to the object-graph formulation.
+    """
+    pool: List[float] = [0.0]
+    args: List[Tuple[int, List[Optional[int]]]] = []
+    c = first_child[p]
+    while c >= 0:
+        pool, arg = _min_plus_mono(g[c], pool, pool_cap)
+        args.append((c, arg))
+        c = next_sibling[c]
+    table, chose = _absorb_step(pool, u_cap, W)
+    return table, args, chose
+
+
 @register_solver(
     "multiple-nod-dp",
     policy=Policy.MULTIPLE,
@@ -84,9 +332,23 @@ def _min_plus(
 def multiple_nod_dp(instance: ProblemInstance) -> Placement:
     """Optimal Multiple-NoD placement by dynamic programming.
 
-    Raises :class:`PolicyError` on instances with a distance constraint
-    (the DP state would need per-distance profiles; use the
-    branch-and-bound exact solver there).
+    Parameters
+    ----------
+    instance:
+        A Multiple-policy instance without distance constraint.
+
+    Returns
+    -------
+    Placement
+        An optimal placement; bit-identical to the object-graph
+        baseline :func:`repro.algorithms.reference.multiple_nod_dp_reference`.
+
+    Raises
+    ------
+    PolicyError
+        On instances with a distance constraint (the DP state would
+        need per-distance profiles; use the branch-and-bound exact
+        solver there).
     """
     if instance.has_distance_constraint:
         raise PolicyError(
@@ -95,36 +357,25 @@ def multiple_nod_dp(instance: ProblemInstance) -> Placement:
         )
     tree = instance.tree
     W = instance.capacity
-    root = tree.root
+    ft = flat_tree(tree)
+    n = ft.n
+    root = ft.root
+    depth = ft.depth
+    demand = ft.demand
+    sdem = ft.subtree_demand
+    first_child = ft.first_child
+    next_sibling = ft.next_sibling
 
-    # Node-count depth (number of proper ancestors) caps the forward
-    # amount: every forwarded unit occupies ancestor capacity.
-    n = len(tree)
-    anc_count = [0] * n
-    for v in tree.topological_order():
-        if v != root:
-            anc_count[v] = anc_count[tree.parent(v)] + 1
+    # g[p]: list over u of minimal replicas; bookkeeping for rebuild.
+    g: List[Optional[List[float]]] = [None] * n
+    conv_args: List[Optional[List[Tuple[int, List[Optional[int]]]]]] = [None] * n
+    absorb_from: List[Optional[List[Optional[int]]]] = [None] * n
 
-    # g[v]: list over u of minimal replicas; bookkeeping for rebuild.
-    g: List[List[float]] = [[] for _ in range(n)]
-    # For internal nodes: the convolution argmins per child, and the
-    # chosen absorb per u.
-    conv_args: List[List[Tuple[int, List[Optional[int]]]]] = [
-        [] for _ in range(n)
-    ]
-    pool_tables: List[List[float]] = [[] for _ in range(n)]
-    absorb_from: List[List[Optional[int]]] = [[] for _ in range(n)]
-
-    subtree_demand = [0] * n
-    for v in tree.postorder():
-        subtree_demand[v] = tree.requests(v) + sum(
-            subtree_demand[c] for c in tree.children(v)
-        )
-
-    for v in tree.postorder():
-        u_cap = min(subtree_demand[v], W * anc_count[v])
-        if tree.is_leaf(v):
-            r = tree.requests(v)
+    for p in range(n):
+        cap_fwd = W * depth[p]
+        u_cap = sdem[p] if sdem[p] < cap_fwd else cap_fwd
+        if first_child[p] < 0:
+            r = demand[p]
             # Serving r - u locally needs one replica of capacity W.
             table = []
             for u in range(u_cap + 1):
@@ -134,66 +385,43 @@ def multiple_nod_dp(instance: ProblemInstance) -> Placement:
                     table.append(1.0)
                 else:
                     table.append(_INF)
-            g[v] = table
+            g[p] = table
             continue
+        pool_cap = min(sdem[p], W * (depth[p] + 1))
+        table, args, chose = _fold_node_tables(
+            g, first_child, next_sibling, p, W, u_cap, pool_cap
+        )
+        g[p] = table
+        conv_args[p] = args
+        absorb_from[p] = chose
 
-        # Children pool: how cheaply can U requests arrive at v?
-        pool_cap = min(subtree_demand[v], W * (anc_count[v] + 1))
-        pool: List[float] = [0.0]
-        args: List[Tuple[int, List[Optional[int]]]] = []
-        for child in tree.children(v):
-            pool, arg = _min_plus(g[child], pool, pool_cap)
-            args.append((child, arg))
-        conv_args[v] = args
-        pool_tables[v] = pool
-
-        table = [_INF] * (u_cap + 1)
-        chose: List[Optional[int]] = [None] * (u_cap + 1)
-        for u in range(u_cap + 1):
-            # No replica at v: the pool must already be exactly u.
-            if u < len(pool) and pool[u] < table[u]:
-                table[u] = pool[u]
-                chose[u] = None
-            # Replica at v absorbing U - u (1..W).
-            hi = min(u + W, len(pool) - 1)
-            for U in range(u + 1, hi + 1):
-                val = pool[U] + 1.0
-                if val < table[u]:
-                    table[u] = val
-                    chose[u] = U
-        g[v] = table
-        absorb_from[v] = chose
-
-    if not g[root] or g[root][0] == _INF:  # pragma: no cover - defensive
+    g_root = g[root]
+    if not g_root or g_root[0] == _INF:  # pragma: no cover - defensive
         raise PolicyError("DP failed to cover the demand")
 
     # ------------------------------------------------------------------
-    # Reconstruction.
+    # Reconstruction: walk the argmins top-down over post positions,
+    # emitting original node ids for the replica set.
     # ------------------------------------------------------------------
+    post_to_orig = ft.post_to_orig
     replicas: List[int] = []
-    assignments: Dict[Tuple[int, int], int] = {}
-    # serve_up[v] = (u, pending list) -- amounts (client, w) forwarded
-    # through v's parent boundary are resolved top-down: we track, for
-    # each node, how many requests it must forward, and whether it
-    # hosts a replica; actual client-level routing is resolved after
-    # the structural pass by a greedy flow over the chosen replica set.
-    forward: Dict[int, int] = {root: 0}
+    forward = [0] * n
     stack = [root]
     while stack:
-        v = stack.pop()
-        u = forward[v]
-        if tree.is_leaf(v):
-            if u < tree.requests(v):
-                replicas.append(v)
+        p = stack.pop()
+        u = forward[p]
+        if first_child[p] < 0:
+            if u < demand[p]:
+                replicas.append(post_to_orig[p])
             continue
         U = u
-        src = absorb_from[v][u]
+        src = absorb_from[p][u]
         if src is not None:
-            replicas.append(v)
+            replicas.append(post_to_orig[p])
             U = src
         # Split U across children by unwinding the convolutions.
         remaining = U
-        for child, arg in reversed(conv_args[v]):
+        for child, arg in reversed(conv_args[p]):
             take = arg[remaining]
             assert take is not None
             forward[child] = take
@@ -213,5 +441,5 @@ def multiple_nod_dp(instance: ProblemInstance) -> Placement:
     used = set(replicas)
     for (c, s) in assign:
         used.add(s)
-    assignments = dict(assign)
+    assignments: Dict[Tuple[int, int], int] = dict(assign)
     return Placement(used, assignments)

@@ -1,4 +1,4 @@
-"""Algorithm 2 of the paper: ``single-nod``.
+"""Algorithm 2 of the paper: ``single-nod``, on the flat-array substrate.
 
 A greedy bottom-up 2-approximation for **Single-NoD** — the Single
 policy with no distance constraint (Theorem 4).
@@ -24,6 +24,26 @@ The proof pairs each packed replica with its ``jmin`` replica
 hence the factor 2, which is tight (Fig. 4, reproduced in
 :func:`repro.instances.tight.single_nod_tight_instance`).
 
+Data layout
+-----------
+The fold runs over the :class:`~repro.core.arrays.FlatTree` post-order:
+``for p in range(n)`` with ``demand`` array lookups and
+``first_child`` / ``next_sibling`` child chains — no per-node method
+calls or tuple allocation.  Each subtree's result is summarised by its
+*export* (the aggregate entry, or the leftover entries of a packing),
+exactly like the memoized incremental fold in
+:mod:`repro.dynamic.incremental`.
+
+Invariants
+----------
+Bit-identical to the original object-graph formulation (preserved as
+:func:`repro.algorithms.reference.single_nod_reference`): entry lists
+are assembled in the original's inbox order — children's leftovers in
+*reversed* child order, then aggregates in child order — and the
+packing sort is stable, so every tie breaks the same way and the
+returned placement is exactly equal.  Property-tested in
+``tests/test_arrays.py``.
+
 Complexity: ``O((Δ log Δ + |C|) · |T|)`` — we sort entry lists per node;
 entry bundles are concatenated by reference so total bookkeeping stays
 linear in the number of client-to-server handoffs.
@@ -31,9 +51,9 @@ linear in the number of client-to-server handoffs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from ..core.arrays import flat_tree
 from ..core.errors import InfeasibleInstanceError, PolicyError
 from ..core.instance import ProblemInstance
 from ..core.placement import Placement
@@ -42,19 +62,12 @@ from ..runner.registry import register_solver
 
 __all__ = ["single_nod"]
 
-
-@dataclass
-class _Entry:
-    """A pending group of whole clients rooted at ``node``.
-
-    ``demand ≤ W`` always holds; ``bundle`` lists the (client, amount)
-    pairs the entry is made of.  An entry is served atomically, so the
-    Single policy is respected by construction.
-    """
-
-    node: int
-    demand: int
-    bundle: List[Tuple[int, int]] = field(default_factory=list)
+#: An entry: ``(node, demand, bundle)`` — a pending group of whole
+#: clients rooted at ``node`` (an original tree id).  ``demand ≤ W``
+#: always holds; ``bundle`` lists the (client, amount) pairs the entry
+#: is made of.  An entry is served atomically, so the Single policy is
+#: respected by construction.
+_Entry = Tuple[int, int, List[Tuple[int, int]]]
 
 
 @register_solver(
@@ -66,10 +79,27 @@ class _Entry:
 def single_nod(instance: ProblemInstance) -> Placement:
     """Run Algorithm 2 on ``instance`` and return a full placement.
 
-    Requires an instance without distance constraint (the *NoD*
-    variants); raises :class:`PolicyError` otherwise, because the entry
-    re-parenting step may move requests arbitrarily far up the tree.
-    Guarantees ``|R| ≤ 2·|R_opt|``.
+    Parameters
+    ----------
+    instance:
+        A Single-policy instance without distance constraint (the *NoD*
+        variants) — the entry re-parenting step may move requests
+        arbitrarily far up the tree.
+
+    Returns
+    -------
+    Placement
+        A checker-valid placement with ``|R| ≤ 2·|R_opt|``;
+        bit-identical to the object-graph baseline
+        :func:`repro.algorithms.reference.single_nod_reference`.
+
+    Raises
+    ------
+    PolicyError
+        If the instance carries a distance constraint.
+    InfeasibleInstanceError
+        If some client demands more than ``W`` (no Single placement
+        exists at all).
     """
     if instance.has_distance_constraint:
         raise PolicyError(
@@ -84,85 +114,106 @@ def single_nod(instance: ProblemInstance) -> Placement:
             "no Single placement exists"
         )
 
+    ft = flat_tree(tree)
+    n = ft.n
+    root = ft.root
+    demand = ft.demand
+    first_child = ft.first_child
+    next_sibling = ft.next_sibling
+    post_to_orig = ft.post_to_orig
+
     replicas: List[int] = []
     assignments: Dict[Tuple[int, int], int] = {}
 
     def open_replica(at: int, entries: List[_Entry]) -> None:
         replicas.append(at)
-        for e in entries:
-            for client, amount in e.bundle:
+        for (_node, _dem, bundle) in entries:
+            for client, amount in bundle:
                 assignments[(client, at)] = (
                     assignments.get((client, at), 0) + amount
                 )
 
-    n = len(tree)
-    root = tree.root
-    # inbox[v]: entries pushed up into v by descendants (the paper's
-    # dynamic children set C_v beyond the original children).
-    inbox: List[List[_Entry]] = [[] for _ in range(n)]
-    # aggregate[v]: the entry v itself forwards to its parent (or None).
-    aggregate: List[_Entry] = [None] * n  # type: ignore[list-item]
+    # export[p]: what subtree(p) pushes to its parent — ("agg", [entry])
+    # for an aggregated subtree, ("left", entries) for the leftovers of
+    # a packing at p, or None.
+    export: List[Optional[Tuple[str, List[_Entry]]]] = [None] * n
 
-    for j in tree.postorder():
-        if tree.is_leaf(j):
-            r = tree.requests(j)
+    for j in range(n):
+        v = post_to_orig[j]
+        if first_child[j] < 0:
+            r = demand[j]
             if j == root:
                 if r > 0:
-                    open_replica(j, [_Entry(j, r, [(j, r)])])
+                    open_replica(v, [(v, r, [(v, r)])])
                 continue
-            aggregate[j] = _Entry(j, r, [(j, r)]) if r > 0 else None
+            export[j] = ("agg", [(v, r, [(v, r)])]) if r > 0 else None
             continue
 
-        entries: List[_Entry] = list(inbox[j])
-        for jp in tree.children(j):
-            agg = aggregate[jp]
-            if agg is not None and agg.demand > 0:
-                entries.append(agg)
+        # The original's inbox order: leftovers child-by-child in
+        # *reversed* child order, then aggregates in child order.
+        entries: List[_Entry] = []
+        children: List[int] = []
+        c = first_child[j]
+        while c >= 0:
+            children.append(c)
+            c = next_sibling[c]
+        for c in reversed(children):
+            exp = export[c]
+            if exp is not None and exp[0] == "left":
+                entries.extend(exp[1])
+        for c in children:
+            exp = export[c]
+            if exp is not None and exp[0] == "agg":
+                entries.extend(exp[1])
 
-        total = sum(e.demand for e in entries)
+        total = 0
+        for e in entries:
+            total += e[1]
 
         if total > W:
-            # Pack a replica at j with the smallest entries.
-            entries.sort(key=lambda e: e.demand)
+            # Pack a replica at j with the smallest entries (stable
+            # sort: insertion order breaks demand ties, as in the
+            # original).
+            entries.sort(key=lambda e: e[1])
             packed: List[_Entry] = []
             acc = 0
             k = 0
-            overflow: _Entry = None  # type: ignore[assignment]
+            overflow: Optional[_Entry] = None
             while k < len(entries):
-                if acc + entries[k].demand > W:
+                if acc + entries[k][1] > W:
                     overflow = entries[k]
                     k += 1
                     break
-                acc += entries[k].demand
+                acc += entries[k][1]
                 packed.append(entries[k])
                 k += 1
-            open_replica(j, packed)
+            open_replica(v, packed)
             # The entry that burst the capacity gets its own replica at
             # its root node (the paper's jmin / R2 replica).
-            open_replica(overflow.node, [overflow])
+            assert overflow is not None  # total > W and demands ≤ W
+            open_replica(overflow[0], [overflow])
             leftovers = entries[k:]
             if j != root:
-                inbox[tree.parent(j)].extend(leftovers)
+                export[j] = ("left", leftovers)
             else:
                 # Paper's R3: leftovers at the root each get a replica.
                 for e in leftovers:
-                    open_replica(e.node, [e])
-            aggregate[j] = None
+                    open_replica(e[0], [e])
         else:
             if j == root:
                 if total > 0:
-                    merged = _Entry(j, total, [])
-                    for e in entries:
-                        merged.bundle.extend(e.bundle)
-                    open_replica(root, [merged])
+                    merged: List[Tuple[int, int]] = []
+                    for (_node, _dem, bundle) in entries:
+                        merged.extend(bundle)
+                    open_replica(v, [(v, total, merged)])
             else:
                 # Aggregate the whole subtree into one entry (Property 1).
                 if total > 0:
-                    merged = _Entry(j, total, [])
-                    for e in entries:
-                        merged.bundle.extend(e.bundle)
-                    aggregate[j] = merged
+                    merged = []
+                    for (_node, _dem, bundle) in entries:
+                        merged.extend(bundle)
+                    export[j] = ("agg", [(v, total, merged)])
                 else:
-                    aggregate[j] = None
+                    export[j] = None
 
     return Placement(replicas, assignments)

@@ -1,5 +1,15 @@
-"""Measurement harness: ratios, scaling, experiment tables."""
+"""Measurement harness: ratios, scaling, experiment tables, benchmarks."""
 
+from .bench import (
+    bench_corpus,
+    compare_snapshots,
+    find_baseline,
+    load_snapshot,
+    render_bench_table,
+    run_bench,
+    snapshot_problems,
+    write_snapshot,
+)
 from .complexity import ScalingPoint, ScalingResult, fit_power_law, measure_scaling
 from .experiments import (
     ExperimentRow,
@@ -27,6 +37,14 @@ from .sensitivity import (
 )
 
 __all__ = [
+    "bench_corpus",
+    "run_bench",
+    "write_snapshot",
+    "load_snapshot",
+    "find_baseline",
+    "compare_snapshots",
+    "snapshot_problems",
+    "render_bench_table",
     "RatioReport",
     "RatioSample",
     "measure_ratios",

@@ -365,6 +365,57 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if bad else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .analysis import (
+        compare_snapshots,
+        find_baseline,
+        load_snapshot,
+        render_bench_table,
+        run_bench,
+        snapshot_problems,
+        write_snapshot,
+    )
+
+    profile = args.profile or ("quick" if args.quick else "full")
+    snapshot = run_bench(profile, repeats=args.repeats)
+    path = write_snapshot(snapshot, args.out_dir, label=args.label)
+    print(render_bench_table(snapshot))
+    print(f"\nwrote {path}", file=sys.stderr)
+
+    # Fail closed: a solver that crashed on the pinned corpus or
+    # diverged from its object-graph reference is a hard failure even
+    # with no baseline to compare against.
+    rc = 0
+    for problem in snapshot_problems(snapshot):
+        print(f"BENCH FAILURE: {problem}", file=sys.stderr)
+        rc = 1
+
+    baseline_path = None
+    if args.baseline == "auto":
+        baseline_path = find_baseline(args.out_dir, exclude=path)
+    elif args.baseline not in (None, "none"):
+        baseline_path = args.baseline
+    if baseline_path is not None:
+        baseline = load_snapshot(baseline_path)
+        lines, regressions = compare_snapshots(
+            snapshot, baseline, threshold_pct=args.threshold
+        )
+        print(f"\nvs baseline {baseline_path} (threshold {args.threshold}%):")
+        for line in lines:
+            print(f"  {line}")
+        if regressions:
+            print(
+                f"bench: {len(regressions)} regression(s) beyond "
+                f"{args.threshold}%",
+                file=sys.stderr,
+            )
+            rc = 1
+    else:
+        print("bench: no baseline snapshot found; skipped comparison",
+              file=sys.stderr)
+    return rc
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import serve
 
@@ -549,6 +600,33 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--verbose", action="store_true",
                     help="stream one line per completed task to stderr")
     sw.set_defaults(func=_cmd_sweep)
+
+    bn = sub.add_parser(
+        "bench",
+        help="run the pinned performance corpus and persist a "
+        "BENCH_<date>.json snapshot",
+        epilog=_docs("performance"),
+    )
+    bn.add_argument("--out-dir", default=".",
+                    help="directory for BENCH_*.json snapshots")
+    bn.add_argument("--quick", action="store_true",
+                    help="run the reduced CI corpus (the 220-node "
+                    "NoD flagships only, one repetition)")
+    bn.add_argument("--profile", choices=["full", "quick", "smoke"],
+                    default=None,
+                    help="explicit corpus profile (overrides --quick)")
+    bn.add_argument("--repeats", type=int, default=None,
+                    help="timing repetitions per solver (best run kept; "
+                    "default 3 for full, 1 otherwise)")
+    bn.add_argument("--baseline", default="auto",
+                    help="snapshot to compare against: a path, 'auto' "
+                    "(latest BENCH_*.json in --out-dir) or 'none'")
+    bn.add_argument("--threshold", type=float, default=25.0,
+                    help="fail on calibration-normalised slowdowns "
+                    "beyond this percentage")
+    bn.add_argument("--label", default=None,
+                    help="snapshot filename label (default: today's date)")
+    bn.set_defaults(func=_cmd_bench)
 
     srv = sub.add_parser(
         "serve",

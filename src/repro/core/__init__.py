@@ -1,5 +1,6 @@
 """Core model: trees, instances, placements, validation, bounds."""
 
+from .arrays import FlatTree, flat_cache_stats, flat_tree, reset_flat_cache_stats
 from .bounds import (
     big_item_lower_bound,
     lower_bound,
@@ -32,6 +33,10 @@ __all__ = [
     "Tree",
     "TreeBuilder",
     "NO_PARENT",
+    "FlatTree",
+    "flat_tree",
+    "flat_cache_stats",
+    "reset_flat_cache_stats",
     "NodeMap",
     "preprocess",
     "prune_zero_demand",

@@ -15,6 +15,18 @@ constructors to create them.
 All traversals are iterative (explicit stacks / precomputed orders), so
 arbitrarily deep trees — e.g. the caterpillar chains used by the scaling
 benchmarks — do not hit Python's recursion limit.
+
+Invariants
+----------
+* Node 0 is the root; every parent pointer points at an existing node
+  and the relation is acyclic (validated at construction).
+* Only leaves carry requests; edge distances are non-negative and the
+  root's distance is ``+∞`` (the paper's ``δ_r`` convention).
+* Immutability backs the cached flat-array compilation
+  (:mod:`repro.core.arrays`): solver hot loops run on the
+  :class:`~repro.core.arrays.FlatTree` layout compiled at most once
+  per tree, and their results are bit-identical to walking this
+  object graph directly — see ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -50,6 +62,12 @@ class Tree:
         ``requests[v]`` is ``r_v`` for leaves, and must be 0 for internal
         nodes.
 
+    Returns
+    -------
+    Tree
+        A frozen topology; all derived orders (topological, weighted
+        depths) are precomputed here so accessors are O(1).
+
     Raises
     ------
     InvalidTreeError
@@ -65,6 +83,7 @@ class Tree:
         "_order",
         "_depth_weighted",
         "_n",
+        "_flat",
     )
 
     def __init__(
@@ -138,6 +157,9 @@ class Tree:
         self._order: Tuple[int, ...] = tuple(order)
         self._depth_weighted: Tuple[float, ...] = tuple(depth_w)
         self._n = n
+        # Lazily-compiled flat (CSR-style) layout; see core/arrays.py.
+        # Trees are immutable, so the compiled layout never goes stale.
+        self._flat = None
 
     # ------------------------------------------------------------------
     # Basic accessors

@@ -36,7 +36,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from ..algorithms.multiple_nod_dp import _min_plus
+from ..algorithms.multiple_nod_dp import _absorb_step, _min_plus_mono
+from ..core.arrays import flat_tree
 from ..core.errors import InfeasibleInstanceError, PolicyError, ReproError
 from ..core.instance import ProblemInstance
 from ..core.placement import Placement
@@ -97,7 +98,6 @@ class IncrementalNodDP:
 
     def __init__(self) -> None:
         self._topology: Optional[Tuple[int, ...]] = None
-        self._anc: List[int] = []
         # node -> (fingerprint, g, conv_args, absorb_from)
         self._memo: Dict[int, tuple] = {}
 
@@ -141,31 +141,35 @@ class IncrementalNodDP:
         if topology != self._topology:
             self._memo.clear()
             self._topology = topology
-            anc = [0] * n
-            for v in tree.topological_order():
-                if v != root:
-                    anc[v] = anc[tree.parent(v)] + 1
-            self._anc = anc
-        anc = self._anc
+
+        # The re-fold runs on the flat substrate: post positions are
+        # children-first, per-node data are contiguous array reads, and
+        # depth / subtree demand come precompiled with the layout.  The
+        # memo stays keyed by *original* node ids — that is what the
+        # fingerprints key on, and it keeps cached entries valid across
+        # the fresh Tree objects each event produces.
+        ft = flat_tree(tree)
+        post_to_orig = ft.post_to_orig
+        depth = ft.depth
+        demand = ft.demand
+        sdem = ft.subtree_demand
+        first_child = ft.first_child
+        next_sibling = ft.next_sibling
 
         fps = subtree_fingerprints(tree, instance_salt(instance), failed)
-        subtree_demand = [0] * n
-        for v in tree.postorder():
-            subtree_demand[v] = tree.requests(v) + sum(
-                subtree_demand[c] for c in tree.children(v)
-            )
 
         reused = recomputed = 0
         memo = self._memo
-        for v in tree.postorder():
+        for p in range(n):
+            v = post_to_orig[p]
             cached = memo.get(v)
             if cached is not None and cached[0] == fps[v]:
                 reused += 1
                 continue
             recomputed += 1
-            u_cap = min(subtree_demand[v], W * anc[v])
-            if tree.is_leaf(v):
-                r = tree.requests(v)
+            u_cap = min(sdem[p], W * depth[p])
+            if first_child[p] < 0:
+                r = demand[p]
                 table: List[float] = []
                 if v in failed:
                     # A failed leaf cannot serve itself: everything must
@@ -181,26 +185,18 @@ class IncrementalNodDP:
                             table.append(_INF)
                 memo[v] = (fps[v], table, None, None)
                 continue
-            pool_cap = min(subtree_demand[v], W * (anc[v] + 1))
+            pool_cap = min(sdem[p], W * (depth[p] + 1))
             pool: List[float] = [0.0]
             args: List[Tuple[int, List[Optional[int]]]] = []
-            for child in tree.children(v):
-                pool, arg = _min_plus(memo[child][1], pool, pool_cap)
+            c = first_child[p]
+            while c >= 0:
+                child = post_to_orig[c]
+                pool, arg = _min_plus_mono(memo[child][1], pool, pool_cap)
                 args.append((child, arg))
-            table = [_INF] * (u_cap + 1)
-            chose: List[Optional[int]] = [None] * (u_cap + 1)
-            for u in range(u_cap + 1):
-                if u < len(pool) and pool[u] < table[u]:
-                    table[u] = pool[u]
-                    chose[u] = None
-                if v not in failed:
-                    # Absorb branch: a replica at v takes 1..W of the pool.
-                    hi = min(u + W, len(pool) - 1)
-                    for U in range(u + 1, hi + 1):
-                        val = pool[U] + 1.0
-                        if val < table[u]:
-                            table[u] = val
-                            chose[u] = U
+                c = next_sibling[c]
+            # Absorb branch: a replica at v takes 1..W of the pool —
+            # unless v is a failed host, which loses the branch.
+            table, chose = _absorb_step(pool, u_cap, W, can_host=v not in failed)
             memo[v] = (fps[v], table, args, chose)
 
         stats = IncrementalStats(n, reused, recomputed)
@@ -243,33 +239,52 @@ class IncrementalNodDP:
                 stack.append(child)
             assert remaining == 0
 
-        assignments = self._route(tree, forward, absorb)
+        assignments = self._route(ft, absorb)
         return Placement(replicas, assignments), stats
 
     @staticmethod
-    def _route(
-        tree, forward: Dict[int, int], absorb: Dict[int, int]
-    ) -> Dict[Tuple[int, int], int]:
+    def _route(ft, absorb: Dict[int, int]) -> Dict[Tuple[int, int], int]:
         """Direct client→replica routing from the DP's absorb amounts.
 
         The DP already fixed how many units each replica takes and how
-        many units cross every parent edge (``forward``); since any
-        ancestor may serve any split of a descendant's demand under
-        Multiple-NoD, a single bottom-up pass suffices — no max-flow
-        oracle.  Pending demand travels up as ``[client, amount]`` pairs
-        and each replica consumes its absorb amount FIFO, so routing is
-        deterministic and O(clients × depth) worst case.
+        many units cross every parent edge; since any ancestor may
+        serve any split of a descendant's demand under Multiple-NoD, a
+        single bottom-up pass over the flat post-order suffices — no
+        max-flow oracle.  Pending demand travels up as
+        ``[client, amount]`` pairs and each replica consumes its absorb
+        amount FIFO, so routing is deterministic and
+        O(clients × depth) worst case.
+
+        Parameters
+        ----------
+        ft:
+            The instance tree's :class:`~repro.core.arrays.FlatTree`.
+        absorb:
+            Units each replica consumes, keyed by original node id.
+
+        Returns
+        -------
+        The ``(client, server) -> amount`` assignment map (original
+        node ids).
         """
         assignments: Dict[Tuple[int, int], int] = {}
-        pending: Dict[int, List[List[int]]] = {}
-        for v in tree.postorder():
-            if tree.is_leaf(v):
-                r = tree.requests(v)
+        post_to_orig = ft.post_to_orig
+        first_child = ft.first_child
+        next_sibling = ft.next_sibling
+        demand = ft.demand
+        pending: List[Optional[List[List[int]]]] = [None] * ft.n
+        for p in range(ft.n):
+            v = post_to_orig[p]
+            if first_child[p] < 0:
+                r = demand[p]
                 inc = [[v, r]] if r > 0 else []
             else:
                 inc = []
-                for c in tree.children(v):
-                    inc.extend(pending.pop(c, ()))
+                c = first_child[p]
+                while c >= 0:
+                    inc.extend(pending[c])
+                    pending[c] = None
+                    c = next_sibling[c]
             need = absorb.get(v, 0)
             k = 0
             while need > 0:
@@ -282,9 +297,8 @@ class IncrementalNodDP:
                 need -= take
                 if inc[k][1] == 0:
                     k += 1
-            pending[v] = [e for e in inc if e[1] > 0]
-        leftover = pending.get(tree.root, [])
-        assert not leftover, "DP forwarded demand past the root"
+            pending[p] = [e for e in inc if e[1] > 0]
+        assert not pending[ft.root], "DP forwarded demand past the root"
         return assignments
 
 
@@ -376,15 +390,17 @@ class IncrementalSingleNod:
             self._topology = topology
 
         fps = subtree_fingerprints(tree, instance_salt(instance), failed)
+        ft = flat_tree(tree)
         memo = self._memo
         reused = recomputed = 0
-        for j in tree.postorder():
+        for p in range(ft.n):
+            j = ft.post_to_orig[p]
             cached = memo.get(j)
             if cached is not None and cached[0] == fps[j]:
                 reused += 1
                 continue
             recomputed += 1
-            export, contribution = self._process(tree, W, j)
+            export, contribution = self._process(ft, W, p)
             memo[j] = (fps[j], export, contribution)
 
         replicas: List[int] = []
@@ -400,12 +416,34 @@ class IncrementalSingleNod:
         return Placement(replicas, assignments), stats
 
     # ------------------------------------------------------------------
-    def _process(self, tree, W: int, j: int) -> Tuple[_Export, _Contribution]:
-        """Fold one node given its children's memoized exports."""
-        root = tree.root
-        if tree.is_leaf(j):
-            r = tree.requests(j)
-            if j == root:
+    def _process(self, ft, W: int, p: int) -> Tuple[_Export, _Contribution]:
+        """Fold one node given its children's memoized exports.
+
+        Parameters
+        ----------
+        ft:
+            The instance tree's :class:`~repro.core.arrays.FlatTree`;
+            the fold walks its ``first_child`` / ``next_sibling``
+            chains and ``demand`` array instead of the object graph.
+        W:
+            Server capacity.
+        p:
+            Post position of the node to fold (exports and
+            contributions still carry *original* node ids — the memo
+            key space).
+
+        Returns
+        -------
+        ``(export, contribution)`` — what ``subtree(p)`` pushes to its
+        parent, and the replicas opened while processing ``p``;
+        bit-identical to the from-scratch Algorithm 2.
+        """
+        post_to_orig = ft.post_to_orig
+        j = post_to_orig[p]
+        is_root = p == ft.root
+        if ft.first_child[p] < 0:
+            r = ft.demand[p]
+            if is_root:
                 return None, (((j, ((j, r),)),) if r > 0 else ())
             if r == 0:
                 return None, ()
@@ -415,7 +453,11 @@ class IncrementalSingleNod:
         # collects leftovers child-by-child in *reversed* children order,
         # then aggregates append in children order.
         entries: List[_Entry] = []
-        children = tree.children(j)
+        children: List[int] = []
+        c = ft.first_child[p]
+        while c >= 0:
+            children.append(post_to_orig[c])
+            c = ft.next_sibling[c]
         for c in reversed(children):
             export = self._memo[c][1]
             if export is not None and export[0] == "left":
@@ -446,7 +488,7 @@ class IncrementalSingleNod:
                 (overflow[0], overflow[2]),
             ]
             leftovers = tuple(entries[k:])
-            if j != root:
+            if not is_root:
                 return ("left", leftovers), tuple(contribution)
             # Paper's R3: at the root, each leftover opens its own replica.
             contribution.extend((e[0], e[2]) for e in leftovers)
@@ -455,8 +497,8 @@ class IncrementalSingleNod:
         if total == 0:
             return None, ()
         merged = (j, total, _merge_bundles(entries))
-        if j == root:
-            return None, ((root, merged[2]),)
+        if is_root:
+            return None, ((j, merged[2]),)
         return ("agg", (merged,)), ()
 
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Documentation gate: link-check docs/ + README, doctest docs/*.md.
 
-Two checks, both zero-dependency:
+Three checks, all zero-dependency:
 
 1. **Links** — every relative markdown link in ``docs/*.md`` and
    ``README.md`` must resolve to an existing file.  External links
@@ -10,6 +10,10 @@ Two checks, both zero-dependency:
 2. **Doctests** — every ``>>>`` example in ``docs/*.md`` is executed
    with :mod:`doctest`, so the documentation's code snippets cannot rot
    silently.
+3. **CLI verb ↔ docs-page mapping** — every ``repro`` verb's
+   ``--help`` epilog must name a ``docs/`` page, and that page must
+   exist; a new verb cannot ship without documentation, and a renamed
+   page cannot orphan a verb.
 
 Exit status 0 when everything passes; 1 with a findings list otherwise.
 Run from anywhere: ``python tools/check_docs.py``.
@@ -69,6 +73,42 @@ def run_doctests(paths: list[Path]) -> list[str]:
     return problems
 
 
+_DOCS_EPILOG = re.compile(r"docs/([\w-]+)\.md")
+
+
+def check_cli_verb_pages() -> list[str]:
+    """Assert the verb ↔ docs-page mapping is complete.
+
+    Walks the real argparse tree (not the source text), so the check
+    cannot drift from what ``repro <verb> --help`` actually prints.
+    """
+    import argparse
+
+    from repro.cli import build_parser
+
+    problems: list[str] = []
+    parser = build_parser()
+    sub = next(
+        a for a in parser._actions
+        if isinstance(a, argparse._SubParsersAction)
+    )
+    for verb, vp in sub.choices.items():
+        match = _DOCS_EPILOG.search(vp.epilog or "")
+        if match is None:
+            problems.append(
+                f"cli: verb {verb!r} names no docs/ page in its --help epilog"
+            )
+            continue
+        page = REPO_ROOT / "docs" / f"{match.group(1)}.md"
+        if not page.exists():
+            problems.append(
+                f"cli: verb {verb!r} points to missing docs/{page.name}"
+            )
+    if not problems:
+        print(f"  {len(sub.choices)} verbs all map to existing docs/ pages")
+    return problems
+
+
 def main() -> int:
     docs = sorted((REPO_ROOT / "docs").glob("*.md"))
     if not docs:
@@ -79,6 +119,8 @@ def main() -> int:
     problems = check_links(pages)
     print(f"doctesting {len(docs)} docs pages ...")
     problems += run_doctests(docs)
+    print("checking CLI verb -> docs page mapping ...")
+    problems += check_cli_verb_pages()
     if problems:
         for p in problems:
             print(f"FAIL: {p}", file=sys.stderr)
