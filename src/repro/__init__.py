@@ -26,7 +26,10 @@ failures into typed responses::
 The same API is served over HTTP by ``repro serve`` (POST
 ``/v1/solve``), and kept current under changing traffic by the online
 re-placement engine (:class:`~repro.dynamic.DynamicPlacement`, see
-``docs/simulation.md``).  Algorithm functions remain importable for
+``docs/simulation.md``).  Every registered solver is cross-validated
+against solver-independent invariants on an adversarial scenario grid
+by the conformance harness (:mod:`repro.scenarios`, ``repro stress``,
+see ``docs/scenarios.md``).  Algorithm functions remain importable for
 direct use::
 
     from repro import single_gen, check_placement
@@ -82,7 +85,7 @@ from .runner import (
 )
 from .runner import solve as solve_registered
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 # Service- and dynamic-layer names are re-exported lazily (PEP 562) so
 # lightweight consumers — `repro generate`, plain algorithm imports —

@@ -28,6 +28,7 @@ from .report import (
     sweep_report,
     tight_family_report,
 )
+from .stress import render_stress_table, stress_report
 from .sensitivity import (
     SweepPoint,
     capacity_sweep,
@@ -59,6 +60,8 @@ __all__ = [
     "summarize_sweep",
     "render_sweep_table",
     "sweep_report",
+    "stress_report",
+    "render_stress_table",
     "service_report",
     "online_report",
     "render_online_table",

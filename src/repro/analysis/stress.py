@@ -1,0 +1,68 @@
+"""Rendering for scenario-grid conformance runs (``repro stress``).
+
+Turns a :class:`~repro.scenarios.harness.StressReport` into the
+markdown report the CLI prints: headline gate verdict, per-family grid
+summary, per-solver coverage, and the full violation list when the
+gate fails.  The JSON side of the report is simply
+``StressReport.to_dict()`` — this module owns only the human rendering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..scenarios.harness import StressReport
+
+__all__ = ["render_stress_table", "stress_report"]
+
+
+def render_stress_table(report: StressReport) -> str:
+    """Monospace per-family summary: cells, solves, statuses, violations."""
+    by_family: Dict[str, List] = {}
+    for row in report.cells:
+        by_family.setdefault(row.family, []).append(row)
+    lines = [
+        f"{'family':<30} {'cells':>5} {'solves':>6} {'ok':>5} "
+        f"{'other':>6} {'violations':>10}"
+    ]
+    for family in sorted(by_family):
+        rows = by_family[family]
+        statuses = [s for r in rows for s in r.statuses.values()]
+        n_ok = sum(1 for s in statuses if s == "ok")
+        n_viol = sum(r.n_violations for r in rows)
+        flag = "" if n_viol == 0 else "  <-- FAIL"
+        lines.append(
+            f"{family:<30} {len(rows):>5} {len(statuses):>6} {n_ok:>5} "
+            f"{len(statuses) - n_ok:>6} {n_viol:>10}{flag}"
+        )
+    return "\n".join(lines)
+
+
+def stress_report(report: StressReport) -> str:
+    """The full conformance report for one scenario-grid run.
+
+    Sections: gate verdict and grid dimensions, the per-family table,
+    per-solver coverage counts (flagging solvers the grid never
+    exercised), and — on failure — every invariant violation.
+    """
+    verdict = "PASS" if report.ok else f"FAIL ({len(report.violations)} violations)"
+    out: List[str] = [
+        f"## Scenario conformance — {verdict}",
+        "",
+        f"{report.n_families} families, {report.n_cells} cells, "
+        f"{report.n_solves} solver runs in {report.wall_time:.2f}s.",
+        "",
+        render_stress_table(report),
+        "",
+        "### Solver coverage",
+        "",
+    ]
+    for solver in sorted(report.solver_runs):
+        out.append(f"  {solver:<20} {report.solver_runs[solver]:>4} cells")
+    for solver in report.uncovered:
+        out.append(f"  {solver:<20} NEVER RAN — widen the grid")
+    if not report.ok:
+        out += ["", "### Invariant violations", ""]
+        out += [f"  {v}" for v in report.violations]
+    out.append("")
+    return "\n".join(out)

@@ -10,6 +10,7 @@ Subcommands::
     repro info inst.json
     repro sweep --out sweep.jsonl
     repro compare --store sweep.jsonl
+    repro stress --quick
     repro serve --port 8350
 
 ``solve`` writes the placement JSON to stdout (or ``--out``) and prints
@@ -21,6 +22,9 @@ persisted sweep store.  ``serve`` runs the placement daemon (JSON over
 HTTP, see :mod:`repro.service.daemon`).  ``simulate --online`` replays
 a randomized change-event trace against the online re-placement engine
 (:mod:`repro.dynamic`) and prints the repair-vs-resolve report.
+``stress`` runs the differential conformance harness — every
+registered solver over the adversarial scenario grid, gated on
+solver-independent invariants (:mod:`repro.scenarios`).
 
 Every verb's ``--help`` epilog names the ``docs/`` page covering it;
 ``repro --version`` reports the installed package version.
@@ -40,6 +44,7 @@ import json
 import sys
 
 from .core import lower_bound
+from .core.errors import ReproError
 from .runner import registry
 from .instances import (
     broom,
@@ -59,9 +64,81 @@ from .instances import (
 __all__ = ["main"]
 
 
+class _CliError(Exception):
+    """A user-input problem with a clean message (exit code 2)."""
+
+
 def _algorithm_names() -> list:
     """Registered solver names (the registry is the single source)."""
     return [s.name for s in registry.available_solvers()]
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type for budgets: a strictly positive integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {text!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    """Argparse type for seeds: an integer >= 0."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer, got {value}"
+        )
+    return value
+
+
+def _load_instance(path: str):
+    """`load_instance` with user-facing error reporting.
+
+    Maps the raw failure modes of a missing or corrupt instance file
+    onto :class:`_CliError`, so every verb reports them uniformly on
+    stderr with exit code 2 instead of a traceback.
+    """
+    try:
+        return load_instance(path)
+    except FileNotFoundError:
+        raise _CliError(f"instance file not found: {path}") from None
+    except IsADirectoryError:
+        raise _CliError(f"instance path is a directory: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise _CliError(f"corrupt instance file {path}: {exc}") from None
+    except (KeyError, TypeError, ValueError, ReproError) as exc:
+        raise _CliError(
+            f"invalid instance file {path}: {type(exc).__name__}: {exc}"
+        ) from None
+
+
+def _load_placement(path: str):
+    """`placement_from_dict` over a file, with the same error mapping."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return placement_from_dict(json.load(fh))
+    except FileNotFoundError:
+        raise _CliError(f"placement file not found: {path}") from None
+    except IsADirectoryError:
+        raise _CliError(f"placement path is a directory: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise _CliError(f"corrupt placement file {path}: {exc}") from None
+    except (KeyError, TypeError, ValueError, ReproError) as exc:
+        raise _CliError(
+            f"invalid placement file {path}: {type(exc).__name__}: {exc}"
+        ) from None
 
 
 def _package_version() -> str:
@@ -126,7 +203,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
-    inst = load_instance(args.instance)
+    inst = _load_instance(args.instance)
     solver = None if args.algorithm == "auto" else args.algorithm
     resp = _service().solve_instance(inst, solver, budget=args.budget)
     if resp.placement is None:
@@ -151,9 +228,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    inst = load_instance(args.instance)
-    with open(args.placement, "r", encoding="utf-8") as fh:
-        placement = placement_from_dict(json.load(fh))
+    inst = _load_instance(args.instance)
+    placement = _load_placement(args.placement)
     problems = _service().check(inst, placement)
     if problems:
         for p in problems:
@@ -167,11 +243,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_render(args: argparse.Namespace) -> int:
-    inst = load_instance(args.instance)
+    inst = _load_instance(args.instance)
     placement = None
     if args.placement:
-        with open(args.placement, "r", encoding="utf-8") as fh:
-            placement = placement_from_dict(json.load(fh))
+        placement = _load_placement(args.placement)
     print(render_tree(inst, placement))
     if placement is not None:
         print()
@@ -180,7 +255,7 @@ def _cmd_render(args: argparse.Namespace) -> int:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    inst = load_instance(args.instance)
+    inst = _load_instance(args.instance)
     t = inst.tree
     print(f"variant        : {inst.variant}")
     print(f"nodes          : {len(t)} ({len(t.clients)} clients)")
@@ -199,7 +274,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         return _cmd_simulate_online(args)
     from .simulate import deterministic_trace, poisson_trace, simulate
 
-    inst = load_instance(args.instance)
+    inst = _load_instance(args.instance)
     if args.placement is None:
         print(
             "simulate: a placement file is required (or use --online "
@@ -207,8 +282,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    with open(args.placement, "r", encoding="utf-8") as fh:
-        placement = placement_from_dict(json.load(fh))
+    placement = _load_placement(args.placement)
     problems = _service().check(inst, placement)
     if problems:
         print(f"refusing to simulate an invalid placement: {problems[0]}")
@@ -232,7 +306,7 @@ def _cmd_simulate_online(args: argparse.Namespace) -> int:
     from .analysis import online_report
     from .simulate import run_online
 
-    inst = load_instance(args.instance)
+    inst = _load_instance(args.instance)
     if args.placement is not None:
         print(
             "simulate --online solves its own placements; "
@@ -285,7 +359,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     if not args.instance:
         print("compare: give an instance file or --store", file=sys.stderr)
         return 2
-    inst = load_instance(args.instance)
+    inst = _load_instance(args.instance)
     lb = lower_bound(inst)
     print(f"{'algorithm':<16} {'replicas':>9} {'valid':>6}   (lower bound {lb})")
     rc = 0
@@ -332,6 +406,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("sweep: no applicable (solver, instance) pairs", file=sys.stderr)
         return 1
     store = ResultStore(args.out) if args.out else None
+    if store is not None:
+        # Provenance: the seed and the exact generator specs make the
+        # sweep reproducible from the store alone (`metadata()` returns
+        # them merged; see docs/scenarios.md on reproducibility).
+        store.write_metadata(
+            {
+                "verb": "sweep",
+                "seed": args.seed,
+                "generator": "default_corpus",
+                "specs": corpus,
+                "solvers": args.solvers,
+                "budget": args.budget,
+                "timeout": args.timeout,
+                "limit": args.limit,
+            }
+        )
 
     def _progress(res) -> None:
         if args.verbose:
@@ -416,6 +506,73 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return rc
 
 
+def _cmd_stress(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from .analysis import stress_report
+    from .scenarios import family_names, full_config, quick_config, run_stress
+
+    known = family_names()
+    if args.list:
+        for name in known:
+            print(name)
+        return 0
+    families = args.family or None
+    if families:
+        unknown = sorted(set(families) - set(known))
+        if unknown:
+            raise _CliError(
+                f"unknown scenario families: {', '.join(unknown)} "
+                f"(repro stress --list shows the catalogue)"
+            )
+    if args.quick:
+        config = quick_config(families, args.solvers)
+    else:
+        config = full_config(families, args.solvers)
+    overrides = {}
+    if args.seeds is not None or args.seed != 0:
+        n = args.seeds if args.seeds is not None else len(config.seeds)
+        overrides["seeds"] = [args.seed + i for i in range(n)]
+    if args.size is not None:
+        overrides["size"] = args.size
+    if args.budget is not None:
+        overrides["budget"] = args.budget
+    if args.no_dynamic:
+        overrides["check_dynamic"] = False
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+
+    def _progress(row) -> None:
+        if args.verbose:
+            flag = "ok" if row.n_violations == 0 else f"{row.n_violations} VIOLATIONS"
+            print(
+                f"  {row.cell:<44} {row.variant:<16} n={row.n_nodes:<4} "
+                f"{len(row.statuses)} solvers {row.wall_time * 1e3:7.1f}ms  {flag}",
+                file=sys.stderr,
+            )
+
+    report = run_stress(config, on_cell=_progress)
+    print(stress_report(report))
+    if args.json:
+        data = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(data)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(data + "\n")
+            print(f"wrote {args.json}", file=sys.stderr)
+    # Coverage only gates a full-catalogue run: a deliberate --family
+    # subset is allowed to leave solvers unexercised.
+    gate_coverage = families is None and report.uncovered
+    if report.uncovered:
+        print(
+            f"stress: {len(report.uncovered)} registered solver(s) never ran: "
+            + ", ".join(report.uncovered),
+            file=sys.stderr,
+        )
+    return 0 if report.ok and not gate_coverage else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import serve
 
@@ -491,7 +648,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="registered solver name, or 'auto' to let the service "
         "pick from the documented fallback chain",
     )
-    s.add_argument("--budget", type=int, default=None,
+    s.add_argument("--budget", type=_positive_int, default=None,
                    help="search budget forwarded to budgeted solvers")
     s.add_argument("--out", default=None)
     s.set_defaults(func=_cmd_solve)
@@ -588,7 +745,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "at the number of sweep tasks; 1 = run inline)")
     sw.add_argument("--timeout", type=float, default=60.0,
                     help="per-task timeout in seconds (0 disables)")
-    sw.add_argument("--budget", type=int, default=None,
+    sw.add_argument("--budget", type=_positive_int, default=None,
                     help="search budget forwarded to exact solvers")
     sw.add_argument("--seed", type=int, default=0,
                     help="corpus seed offset (distinct sweeps, distinct instances)")
@@ -628,6 +785,45 @@ def build_parser() -> argparse.ArgumentParser:
                     help="snapshot filename label (default: today's date)")
     bn.set_defaults(func=_cmd_bench)
 
+    st = sub.add_parser(
+        "stress",
+        help="run the differential conformance harness over the "
+        "adversarial scenario grid",
+        epilog=_docs("scenarios"),
+    )
+    st.add_argument(
+        "--family", action="append", default=None, metavar="NAME",
+        help="restrict to one scenario family (repeatable; "
+        "default: the full catalogue)",
+    )
+    st.add_argument(
+        "--solvers", nargs="+", choices=algorithm_names, default=None,
+        help="subset of solvers (default: every applicable registered solver)",
+    )
+    st.add_argument("--quick", action="store_true",
+                    help="the pinned CI gate grid: every family, one "
+                    "seed, small sizes (finishes in seconds)")
+    st.add_argument("--seed", type=_nonnegative_int, default=0,
+                    help="base scenario seed (default 0, the pinned grid)")
+    st.add_argument("--seeds", type=_positive_int, default=None,
+                    help="number of consecutive seeds per cell "
+                    "(default: 1 quick, 3 full)")
+    st.add_argument("--size", type=_positive_int, default=None,
+                    help="scenario scale (clients per instance; capped "
+                    "per regime so exact solvers stay tractable)")
+    st.add_argument("--budget", type=_positive_int, default=None,
+                    help="search budget for exact solvers (exhaustion "
+                    "is a recorded outcome, not a violation)")
+    st.add_argument("--no-dynamic", action="store_true",
+                    help="skip the failure-storm incremental-parity check")
+    st.add_argument("--json", default=None, metavar="PATH",
+                    help="also write the report as JSON ('-' for stdout)")
+    st.add_argument("--list", action="store_true",
+                    help="list the scenario family catalogue and exit")
+    st.add_argument("--verbose", action="store_true",
+                    help="stream one line per completed cell to stderr")
+    st.set_defaults(func=_cmd_stress)
+
     srv = sub.add_parser(
         "serve",
         help="run the placement service daemon (JSON over HTTP)",
@@ -638,7 +834,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="TCP port (0 binds an ephemeral port)")
     srv.add_argument("--cache-size", type=int, default=256,
                      help="LRU result-cache entries (0 disables caching)")
-    srv.add_argument("--budget", type=int, default=None,
+    srv.add_argument("--budget", type=_positive_int, default=None,
                      help="default search budget for budgeted solvers")
     srv.add_argument("--verbose", action="store_true",
                      help="log one access line per request to stderr")
@@ -662,6 +858,12 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except _CliError as exc:
+        # User-input problems (missing/corrupt files, unknown family
+        # names): one clean stderr line, exit code 2 — same contract as
+        # argparse's own usage errors, never a traceback.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Downstream consumer (head, grep -m, ...) closed the pipe:
         # normal in `repro ... | head` pipelines, not an error.  Detach

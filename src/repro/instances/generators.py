@@ -237,7 +237,12 @@ GENERATORS: Dict[str, Callable[..., ProblemInstance]] = {}
 
 
 def _register_generators() -> None:
+    # Lazy imports: the scenario library lives above this layer in the
+    # stack (it imports core/ only), so pulling it in here at call time
+    # keeps module import acyclic while letting specs name adversarial
+    # families (``kind="scenario"``) next to the plain topologies.
     from .families import binomial, cdn_hierarchy, full_kary
+    from ..scenarios.families import scenario
 
     GENERATORS.update(
         random_tree=random_tree,
@@ -248,6 +253,7 @@ def _register_generators() -> None:
         full_kary=full_kary,
         binomial=binomial,
         cdn_hierarchy=cdn_hierarchy,
+        scenario=scenario,
     )
 
 

@@ -5,6 +5,13 @@ killed sweep loses at most the row in flight.  The format is
 diff-friendly (stable key order, one row per line) and greppable; the
 batch runner resumes sweeps from :meth:`ResultStore.latest`
 (last-write-wins per resume key) across commits and crashes.
+
+Besides result rows a store can carry **metadata rows** — lines of the
+form ``{"_meta": {...}}`` recording how the sweep was produced (corpus
+seed, generator specs, solver subset), written by
+:meth:`ResultStore.write_metadata` and merged back by
+:meth:`ResultStore.metadata`.  Metadata rows are invisible to result
+iteration, so stores written before the format existed read unchanged.
 """
 
 from __future__ import annotations
@@ -17,6 +24,8 @@ from .result import SolveResult
 
 __all__ = ["ResultStore"]
 
+_META_KEY = "_meta"
+
 
 class ResultStore:
     """Append-only JSON-lines persistence for sweep results."""
@@ -25,23 +34,28 @@ class ResultStore:
         self.path = str(path)
 
     # ------------------------------------------------------------------
-    def __iter__(self) -> Iterator[SolveResult]:
+    def _rows(self) -> Iterator[dict]:
         if not os.path.exists(self.path):
             return
         with open(self.path, "r", encoding="utf-8") as fh:
-            for lineno, line in enumerate(fh, 1):
+            for line in fh:
                 line = line.strip()
                 if not line:
                     continue
                 try:
-                    data = json.loads(line)
+                    yield json.loads(line)
                 except json.JSONDecodeError:
                     # A row truncated by a crash mid-append: skip it; the
                     # resume logic will simply recompute that task.
                     continue
-                res = SolveResult.from_dict(data)
-                res.cached = True
-                yield res
+
+    def __iter__(self) -> Iterator[SolveResult]:
+        for data in self._rows():
+            if _META_KEY in data:
+                continue
+            res = SolveResult.from_dict(data)
+            res.cached = True
+            yield res
 
     def load(self) -> List[SolveResult]:
         """All rows, in append order."""
@@ -62,15 +76,43 @@ class ResultStore:
         return sum(1 for _ in self)
 
     # ------------------------------------------------------------------
-    def append(self, result: SolveResult) -> None:
-        """Append one row and flush, creating the file if needed."""
+    def _append_line(self, payload: dict) -> None:
+        """Durably append one JSON row, creating the file if needed."""
         parent = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(parent, exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(json.dumps(result.to_dict(), sort_keys=True) + "\n")
+            fh.write(json.dumps(payload, sort_keys=True) + "\n")
             fh.flush()
             os.fsync(fh.fileno())
+
+    def append(self, result: SolveResult) -> None:
+        """Append one result row."""
+        self._append_line(result.to_dict())
 
     def extend(self, results: Iterable[SolveResult]) -> None:
         for r in results:
             self.append(r)
+
+    # ------------------------------------------------------------------
+    def write_metadata(self, meta: Dict) -> None:
+        """Append one ``{"_meta": ...}`` provenance row.
+
+        ``meta`` must be JSON-serialisable.  Typical contents: the
+        corpus seed, the generator specs and the solver subset of the
+        sweep that produced the result rows — enough to regenerate the
+        exact instances later.  Repeated calls append; later rows win
+        key-by-key in :meth:`metadata`.
+        """
+        self._append_line({_META_KEY: meta})
+
+    def metadata(self) -> Dict:
+        """All metadata rows merged in append order (later rows win).
+
+        Returns an empty dict for stores without metadata, including
+        every store written before the format existed.
+        """
+        out: Dict = {}
+        for data in self._rows():
+            if _META_KEY in data and isinstance(data[_META_KEY], dict):
+                out.update(data[_META_KEY])
+        return out

@@ -1,0 +1,320 @@
+"""Named adversarial scenario families: topology × demand profile.
+
+The sweep corpus (:mod:`repro.runner.corpus`) samples *typical*
+instances; this module enumerates *adversarial* ones.  A scenario
+family crosses a *topology* — the tree shape stressing a structural
+assumption — with a *demand profile* — the client-load distribution
+stressing a packing assumption:
+
+Topologies
+    * ``star`` — one internal root, all clients attached: degenerates
+      to pure bin packing, no tree structure to exploit.
+    * ``caterpillar`` — a long binary spine, one client per spine node:
+      maximal depth with demand spread evenly along it.
+    * ``broom`` — a bare spine ending in a fan of clients: all demand
+      concentrated far from the root.
+    * ``deep_chain`` — a long spine with clients only on its deepest
+      quarter: depth of ``caterpillar``, concentration of ``broom``.
+    * ``random_attachment`` — uniform random attachment with no arity
+      cap: heavy degree skew (early nodes accumulate most children).
+
+Demand profiles
+    * ``uniform`` — demands uniform in ``[1, W]``.
+    * ``zipf`` — Zipf(1.5)-skewed demands scaled into ``[1, W]``.
+    * ``heavy_tailed`` — Pareto-tailed demands: mostly tiny, rare
+      near-``W`` spikes.
+    * ``flash_crowd`` — a small baseline load everywhere plus ~1/8 of
+      clients pinned at exactly ``W`` (the "everyone watches the same
+      stream" regime).
+
+Every topology × demand pair is a registered :class:`ScenarioFamily`
+(name ``"<topology>/<demand>"``, e.g. ``"broom/flash_crowd"``) in
+:data:`FAMILIES`; :func:`build_scenario` materialises a family as a
+:class:`~repro.core.instance.ProblemInstance` deterministically from a
+seed, and :func:`scenario` is the ``kind="scenario"`` entry registered
+in :data:`repro.instances.GENERATORS` so sweeps and benchmarks can
+reference families by spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.policies import Policy
+from ..core.tree import TreeBuilder
+
+__all__ = [
+    "ScenarioFamily",
+    "TOPOLOGIES",
+    "DEMANDS",
+    "FAMILIES",
+    "family_names",
+    "build_scenario",
+    "scenario",
+    "scenario_spec",
+]
+
+
+# ----------------------------------------------------------------------
+# Topologies.  A builder returns the internal skeleton plus the ordered
+# list of nodes each client attaches under (one client per entry); the
+# demand profile then decides how much load each of those clients
+# carries.
+# ----------------------------------------------------------------------
+
+TopologyBuilder = Callable[[np.random.Generator, int], Tuple[TreeBuilder, List[int]]]
+
+
+def _delta(rng: np.random.Generator) -> float:
+    """Edge length: uniform in [0.5, 2.5] so depths vary across seeds."""
+    return float(rng.uniform(0.5, 2.5))
+
+
+def _topology_star(rng: np.random.Generator, size: int) -> Tuple[TreeBuilder, List[int]]:
+    b = TreeBuilder()
+    root = b.add_root()
+    return b, [root] * size
+
+
+def _topology_caterpillar(
+    rng: np.random.Generator, size: int
+) -> Tuple[TreeBuilder, List[int]]:
+    b = TreeBuilder()
+    spine = b.add_root()
+    hosts = [spine]
+    for _ in range(size - 1):
+        spine = b.add(spine, delta=_delta(rng))
+        hosts.append(spine)
+    return b, hosts
+
+
+def _topology_broom(rng: np.random.Generator, size: int) -> Tuple[TreeBuilder, List[int]]:
+    handle = max(1, size // 3)
+    fan = max(1, size - handle)
+    b = TreeBuilder()
+    node = b.add_root()
+    for _ in range(handle - 1):
+        node = b.add(node, delta=_delta(rng))
+    return b, [node] * fan
+
+
+def _topology_deep_chain(
+    rng: np.random.Generator, size: int
+) -> Tuple[TreeBuilder, List[int]]:
+    b = TreeBuilder()
+    spine = b.add_root()
+    chain = [spine]
+    for _ in range(size - 1):
+        spine = b.add(spine, delta=_delta(rng))
+        chain.append(spine)
+    n_clients = max(1, size // 4)
+    return b, chain[-n_clients:]
+
+
+def _topology_random_attachment(
+    rng: np.random.Generator, size: int
+) -> Tuple[TreeBuilder, List[int]]:
+    n_internal = max(2, size // 2)
+    b = TreeBuilder()
+    nodes = [b.add_root()]
+    has_child = {nodes[0]: False}
+    for _ in range(n_internal - 1):
+        host = int(nodes[int(rng.integers(len(nodes)))])
+        node = b.add(host, delta=_delta(rng))
+        has_child[host] = True
+        has_child[node] = False
+        nodes.append(node)
+    # Childless skeleton nodes must become internal by hosting a client.
+    hosts = [v for v in nodes if not has_child[v]]
+    while len(hosts) < size - n_internal:
+        hosts.append(int(nodes[int(rng.integers(len(nodes)))]))
+    return b, hosts
+
+
+#: Topology name -> skeleton builder.
+TOPOLOGIES: Dict[str, TopologyBuilder] = {
+    "star": _topology_star,
+    "caterpillar": _topology_caterpillar,
+    "broom": _topology_broom,
+    "deep_chain": _topology_deep_chain,
+    "random_attachment": _topology_random_attachment,
+}
+
+
+# ----------------------------------------------------------------------
+# Demand profiles.  Each returns n integer demands in [1, W] — clipping
+# at W keeps every family feasible under both policies (a client can
+# always host its own replica).
+# ----------------------------------------------------------------------
+
+DemandProfile = Callable[[np.random.Generator, int, int], List[int]]
+
+
+def _demand_uniform(rng: np.random.Generator, n: int, W: int) -> List[int]:
+    return [int(x) for x in rng.integers(1, W + 1, size=n)]
+
+
+def _demand_zipf(rng: np.random.Generator, n: int, W: int) -> List[int]:
+    raw = rng.zipf(1.5, size=n).astype(float)
+    scaled = np.ceil(raw / raw.max() * W)
+    return [int(x) for x in np.clip(scaled, 1, W)]
+
+
+def _demand_heavy_tailed(rng: np.random.Generator, n: int, W: int) -> List[int]:
+    raw = 1.0 + rng.pareto(1.2, size=n) * max(1.0, W / 6.0)
+    return [int(x) for x in np.clip(np.floor(raw), 1, W)]
+
+
+def _demand_flash_crowd(rng: np.random.Generator, n: int, W: int) -> List[int]:
+    base = rng.integers(1, max(2, W // 6) + 1, size=n)
+    demands = [int(x) for x in base]
+    n_hot = max(1, n // 8)
+    for i in rng.choice(n, size=min(n_hot, n), replace=False):
+        demands[int(i)] = W
+    return demands
+
+
+#: Demand profile name -> sampler.
+DEMANDS: Dict[str, DemandProfile] = {
+    "uniform": _demand_uniform,
+    "zipf": _demand_zipf,
+    "heavy_tailed": _demand_heavy_tailed,
+    "flash_crowd": _demand_flash_crowd,
+}
+
+
+# ----------------------------------------------------------------------
+# The family registry: every topology × demand cross.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """One named adversarial workload family."""
+
+    name: str
+    topology: str
+    demand: str
+
+    @property
+    def description(self) -> str:
+        return f"{self.topology} topology under {self.demand} demand"
+
+
+FAMILIES: Dict[str, ScenarioFamily] = {
+    f"{topo}/{dem}": ScenarioFamily(f"{topo}/{dem}", topo, dem)
+    for topo in TOPOLOGIES
+    for dem in DEMANDS
+}
+
+
+def family_names() -> List[str]:
+    """All registered family names, sorted."""
+    return sorted(FAMILIES)
+
+
+def build_scenario(
+    family: str,
+    *,
+    size: int = 24,
+    capacity: int = 16,
+    dmax: Optional[float] = None,
+    policy: Policy = Policy.SINGLE,
+    seed: int = 0,
+) -> ProblemInstance:
+    """Materialise ``family`` as a deterministic problem instance.
+
+    Parameters
+    ----------
+    family:
+        A :data:`FAMILIES` key, ``"<topology>/<demand>"``.
+    size:
+        Scale knob: roughly the number of clients (exactly, for the
+        fan/spine topologies; the random topologies split it between
+        skeleton and clients).
+    capacity / dmax / policy:
+        Forwarded to :class:`~repro.core.instance.ProblemInstance`.
+    seed:
+        Drives both the topology randomness and the demand draw; equal
+        seeds produce equal instances.
+
+    Raises
+    ------
+    KeyError
+        For an unknown family name.
+    ValueError
+        For a non-positive ``size``.
+    """
+    try:
+        fam = FAMILIES[family]
+    except KeyError:
+        known = ", ".join(family_names())
+        raise KeyError(f"unknown scenario family {family!r}; known: {known}") from None
+    if size < 1:
+        raise ValueError(f"size must be positive, got {size}")
+    rng = np.random.default_rng(seed)
+    builder, hosts = TOPOLOGIES[fam.topology](rng, size)
+    demands = DEMANDS[fam.demand](rng, len(hosts), capacity)
+    for host, req in zip(hosts, demands):
+        builder.add(host, delta=_delta(rng), requests=int(req))
+    return ProblemInstance(
+        builder.build(),
+        capacity,
+        dmax,
+        policy,
+        name=f"{family}(size={size},seed={seed})",
+    )
+
+
+def scenario(
+    family: str,
+    *,
+    size: int = 24,
+    capacity: int = 16,
+    dmax: Optional[float] = None,
+    policy: Policy = Policy.SINGLE,
+    seed: int = 0,
+) -> ProblemInstance:
+    """The ``kind="scenario"`` generator for :data:`repro.instances.GENERATORS`.
+
+    Same contract as :func:`build_scenario`; exists as a separate name
+    so spec-driven callers (``make_instance``, sweep corpora, bench
+    profiles) read naturally.
+    """
+    return build_scenario(
+        family, size=size, capacity=capacity, dmax=dmax, policy=policy, seed=seed
+    )
+
+
+def scenario_spec(
+    family: str,
+    *,
+    size: int = 24,
+    capacity: int = 16,
+    dmax: Optional[float] = None,
+    policy: str = "single",
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> Dict:
+    """A plain-dict :func:`~repro.instances.make_instance` spec for ``family``.
+
+    JSON-able and picklable, so scenario instances can ride through the
+    parallel sweep runner and result stores unchanged.
+    """
+    if family not in FAMILIES:
+        known = ", ".join(family_names())
+        raise KeyError(f"unknown scenario family {family!r}; known: {known}")
+    return {
+        "kind": "scenario",
+        "name": name or f"{family}@{seed}",
+        "family": family,
+        "size": size,
+        "capacity": capacity,
+        "dmax": dmax,
+        "policy": policy,
+        "seed": seed,
+    }

@@ -1,0 +1,347 @@
+"""Differential conformance harness over the scenario grid.
+
+One *cell* of the grid is a scenario family materialised under a
+*regime* (policy × distance-constraint combination, sized so the exact
+solvers stay tractable) at a pinned seed.  For every cell the harness
+
+1. runs **every registered solver applicable to the cell** through
+   :func:`repro.runner.registry.solve` (checker-validated, budgeted),
+2. evaluates the solver-independent invariants of
+   :mod:`repro.scenarios.invariants` over the results, and
+3. on distance-unconstrained cells, replays a correlated failure-storm
+   trace through the dynamic engine and checks incremental parity.
+
+The result is a :class:`StressReport`: per-cell status rows, the full
+violation list, and per-solver coverage counts (a registered solver the
+grid never exercised is reported as *uncovered* — the grid, not the
+solver, is then at fault).  ``repro stress`` is the CLI surface;
+:func:`quick_config` pins the CI gate configuration.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core.policies import Policy
+from ..runner import registry
+from ..runner.result import SolveResult
+from .families import build_scenario, family_names
+from .invariants import (
+    Violation,
+    check_demand_monotonicity,
+    check_exact_dominance,
+    check_feasibility,
+    check_flat_reference_identity,
+    check_incremental_parity,
+)
+from .traces import failure_storm_trace
+
+__all__ = [
+    "Regime",
+    "REGIMES",
+    "StressConfig",
+    "CellRow",
+    "StressReport",
+    "quick_config",
+    "full_config",
+    "run_stress",
+]
+
+
+@dataclass(frozen=True)
+class Regime:
+    """Policy × distance combination a scenario is materialised under."""
+
+    name: str
+    policy: Policy
+    dmax: Optional[float]
+    #: Hard cap on the cell size: the Multiple-policy regimes unlock the
+    #: subset-enumeration exact solver, whose cost explodes with size.
+    size_cap: Optional[int] = None
+
+
+#: Regime cycle, ordered so consecutive regimes alternate policies.
+REGIMES: Dict[str, Regime] = {
+    r.name: r
+    for r in (
+        Regime("single", Policy.SINGLE, dmax=4.0),
+        Regime("single-nod", Policy.SINGLE, dmax=None),
+        Regime("multiple-nod", Policy.MULTIPLE, dmax=None, size_cap=12),
+        Regime("multiple", Policy.MULTIPLE, dmax=4.0, size_cap=10),
+    )
+}
+
+
+@dataclass(frozen=True)
+class StressConfig:
+    """One harness run: which cells to build and how hard to push."""
+
+    families: List[str] = field(default_factory=family_names)
+    seeds: List[int] = field(default_factory=lambda: [0])
+    regimes: List[str] = field(default_factory=lambda: list(REGIMES))
+    #: How many regimes of the cycle each family is materialised under
+    #: (offset by the family's index, so the grid covers every regime
+    #: with a quarter of the cells a full cross would take).
+    regimes_per_family: int = 2
+    size: int = 18
+    capacity: int = 12
+    budget: Optional[int] = 50_000
+    solvers: Optional[List[str]] = None
+    check_monotonicity: bool = True
+    check_dynamic: bool = True
+    storms: int = 3
+    storm_size: int = 2
+
+    def cells(self) -> List["_Cell"]:
+        """The deterministic scenario grid this config describes."""
+        out: List[_Cell] = []
+        for i, family in enumerate(self.families):
+            k = max(1, min(self.regimes_per_family, len(self.regimes)))
+            for j in range(k):
+                regime = REGIMES[self.regimes[(i + j) % len(self.regimes)]]
+                size = self.size
+                if regime.size_cap is not None:
+                    size = min(size, regime.size_cap)
+                for seed in self.seeds:
+                    out.append(_Cell(family, regime, seed, size, self.capacity))
+        return out
+
+
+@dataclass(frozen=True)
+class _Cell:
+    family: str
+    regime: Regime
+    seed: int
+    size: int
+    capacity: int
+
+    @property
+    def cell_id(self) -> str:
+        return f"{self.family}[{self.regime.name}]@{self.seed}"
+
+
+def quick_config(
+    families: Optional[List[str]] = None,
+    solvers: Optional[List[str]] = None,
+) -> StressConfig:
+    """The pinned CI gate grid: every family, one seed, small sizes.
+
+    40 cells (20 families × 2 regimes), seeds pinned at 0, sized so the
+    whole run finishes in well under a minute while still covering all
+    registered solvers and every invariant.
+    """
+    return StressConfig(
+        families=families or family_names(),
+        solvers=solvers,
+        seeds=[0],
+        regimes_per_family=2,
+        size=14,
+        capacity=10,
+        budget=50_000,
+    )
+
+
+def full_config(
+    families: Optional[List[str]] = None,
+    solvers: Optional[List[str]] = None,
+    *,
+    seeds: Optional[List[int]] = None,
+    size: int = 24,
+) -> StressConfig:
+    """The thorough grid: every regime per family, three seeds."""
+    return StressConfig(
+        families=families or family_names(),
+        solvers=solvers,
+        seeds=seeds if seeds is not None else [0, 1, 2],
+        regimes_per_family=len(REGIMES),
+        size=size,
+        capacity=14,
+        budget=200_000,
+    )
+
+
+@dataclass
+class CellRow:
+    """Per-cell outcome summary (one row of the report)."""
+
+    cell: str
+    family: str
+    regime: str
+    seed: int
+    n_nodes: int
+    variant: str
+    statuses: Dict[str, str] = field(default_factory=dict)
+    n_violations: int = 0
+    wall_time: float = 0.0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CellRow":
+        return cls(**{f: data[f] for f in (
+            "cell", "family", "regime", "seed", "n_nodes", "variant",
+            "statuses", "n_violations", "wall_time",
+        )})
+
+
+@dataclass
+class StressReport:
+    """Everything one harness run learned."""
+
+    cells: List[CellRow] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+    #: Registered solver -> number of cells it ran on.
+    solver_runs: Dict[str, int] = field(default_factory=dict)
+    #: Registered solvers no cell of the grid exercised.
+    uncovered: List[str] = field(default_factory=list)
+    n_families: int = 0
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True iff every invariant held on every cell."""
+        return not self.violations
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def n_solves(self) -> int:
+        return sum(self.solver_runs.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "n_families": self.n_families,
+            "n_cells": self.n_cells,
+            "n_solves": self.n_solves,
+            "wall_time": self.wall_time,
+            "solver_runs": dict(sorted(self.solver_runs.items())),
+            "uncovered": list(self.uncovered),
+            "cells": [c.to_dict() for c in self.cells],
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StressReport":
+        return cls(
+            cells=[CellRow.from_dict(c) for c in data.get("cells", [])],
+            violations=[
+                Violation.from_dict(v) for v in data.get("violations", [])
+            ],
+            solver_runs=dict(data.get("solver_runs", {})),
+            uncovered=list(data.get("uncovered", [])),
+            n_families=int(data.get("n_families", 0)),
+            wall_time=float(data.get("wall_time", 0.0)),
+        )
+
+
+def _run_cell(
+    cell: _Cell, config: StressConfig
+) -> "tuple[CellRow, List[Violation]]":
+    """Build one cell, run all applicable solvers, check invariants."""
+    t0 = time.perf_counter()
+    instance = build_scenario(
+        cell.family,
+        size=cell.size,
+        capacity=cell.capacity,
+        dmax=cell.regime.dmax,
+        policy=cell.regime.policy,
+        seed=cell.seed,
+    )
+    specs = registry.solvers_for(instance)
+    if config.solvers is not None:
+        wanted = set(config.solvers)
+        specs = [s for s in specs if s.name in wanted]
+
+    results: List[SolveResult] = [
+        registry.solve(
+            s.name, instance,
+            budget=config.budget, instance_id=cell.cell_id, seed=cell.seed,
+        )
+        for s in specs
+    ]
+
+    cid = cell.cell_id
+    violations = check_feasibility(cid, results)
+    violations += check_exact_dominance(cid, results)
+    violations += check_flat_reference_identity(cid, instance, results)
+    if config.check_monotonicity:
+        violations += check_demand_monotonicity(
+            cid, instance, results, budget=config.budget
+        )
+    if config.check_dynamic and not instance.has_distance_constraint:
+        trace = failure_storm_trace(
+            instance,
+            storms=config.storms,
+            storm_size=config.storm_size,
+            seed=cell.seed + 1,
+        )
+        violations += check_incremental_parity(cid, instance, trace)
+
+    row = CellRow(
+        cell=cid,
+        family=cell.family,
+        regime=cell.regime.name,
+        seed=cell.seed,
+        n_nodes=len(instance.tree),
+        variant=instance.variant,
+        statuses={r.solver: r.status for r in results},
+        n_violations=len(violations),
+        wall_time=time.perf_counter() - t0,
+    )
+    return row, violations
+
+
+def run_stress(
+    config: StressConfig,
+    *,
+    on_cell: Optional[Callable[[CellRow], None]] = None,
+) -> StressReport:
+    """Run the conformance harness over ``config``'s scenario grid.
+
+    Parameters
+    ----------
+    config:
+        The grid description (see :func:`quick_config` /
+        :func:`full_config` for the pinned presets).
+    on_cell:
+        Progress callback invoked with each completed :class:`CellRow`
+        (the CLI streams one line per cell from it).
+
+    Returns
+    -------
+    StressReport
+        Cell rows, the aggregated violation list and solver coverage.
+        ``report.ok`` is the gate: True iff zero invariant violations.
+
+    Raises
+    ------
+    KeyError
+        For an unknown family or regime name in ``config`` — a caller
+        bug, unlike solver failures, which are recorded as outcomes.
+    """
+    t0 = time.perf_counter()
+    report = StressReport(n_families=len(set(config.families)))
+    for name in config.regimes:
+        if name not in REGIMES:
+            known = ", ".join(REGIMES)
+            raise KeyError(f"unknown regime {name!r}; known: {known}")
+    for cell in config.cells():
+        row, violations = _run_cell(cell, config)
+        report.cells.append(row)
+        report.violations.extend(violations)
+        for solver in row.statuses:
+            report.solver_runs[solver] = report.solver_runs.get(solver, 0) + 1
+        if on_cell is not None:
+            on_cell(row)
+    registered = {s.name for s in registry.available_solvers()}
+    if config.solvers is not None:
+        registered &= set(config.solvers)
+    report.uncovered = sorted(registered - set(report.solver_runs))
+    report.wall_time = time.perf_counter() - t0
+    return report

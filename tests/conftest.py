@@ -2,18 +2,42 @@
 
 Also hosts the shared hypothesis strategy :func:`tree_instances` so the
 property suites can import it absolutely (``from tests.conftest import
-tree_instances``) regardless of the pytest rootdir.
+tree_instances``) regardless of the pytest rootdir, and registers the
+shared hypothesis profiles:
+
+* ``ci`` — fast, deterministic and time-bounded: few examples, no
+  deadline flake, derandomized so CI failures reproduce locally.
+* ``nightly`` — thorough: an order of magnitude more examples for the
+  scheduled deep run.
+* ``dev`` — hypothesis defaults (the implicit local profile).
+
+Select with ``HYPOTHESIS_PROFILE=ci pytest ...``; per-test
+``@settings(...)`` decorators still override individual fields.
 """
 
 from __future__ import annotations
 
 import math
+import os
 
 import pytest
+from hypothesis import HealthCheck, settings
 from hypothesis import strategies as st
 
 from repro import Policy, ProblemInstance, Tree, TreeBuilder
 from repro.core.tree import NO_PARENT
+
+settings.register_profile(
+    "ci",
+    max_examples=25,
+    deadline=None,
+    derandomize=True,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("nightly", max_examples=500, deadline=None)
+settings.register_profile("dev", settings.get_profile("default"))
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 def build_paper_example() -> ProblemInstance:

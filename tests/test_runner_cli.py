@@ -34,7 +34,10 @@ class TestSweepCommand:
         assert rc == 0
         out = capsys.readouterr().out
         assert "single-gen" in out and "ratio" in out
-        rows = [json.loads(ln) for ln in open(path)]
+        lines = [json.loads(ln) for ln in open(path)]
+        # Line 1 is the provenance row; result rows follow.
+        assert "_meta" in lines[0]
+        rows = [ln for ln in lines if "_meta" not in ln]
         assert {r["solver"] for r in rows} == {"single-gen", "local"}
         assert all(r["status"] == "ok" for r in rows)
 

@@ -121,3 +121,60 @@ class TestSweepAggregation:
         assert by_name["b"].timeouts == 1 and by_name["b"].errors == 1
         assert by_name["b"].mean_ratio is None
         assert by_name["a"].wins == 1
+
+
+class TestMetadata:
+    def test_metadata_round_trip(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.jsonl"))
+        store.write_metadata({"seed": 7, "generator": "default_corpus"})
+        assert store.metadata() == {"seed": 7, "generator": "default_corpus"}
+
+    def test_metadata_rows_invisible_to_result_iteration(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.jsonl"))
+        store.write_metadata({"seed": 1})
+        store.append(_result())
+        store.write_metadata({"budget": 100})
+        assert len(store.load()) == 1
+        assert len(store) == 1
+        assert store.completed_keys() == {_result().key}
+
+    def test_later_metadata_wins_key_by_key(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.jsonl"))
+        store.write_metadata({"seed": 1, "generator": "default_corpus"})
+        store.write_metadata({"seed": 2})
+        assert store.metadata() == {"seed": 2, "generator": "default_corpus"}
+
+    def test_pre_metadata_stores_read_unchanged(self, tmp_path):
+        # Stores written before the metadata format existed: plain
+        # result rows only, metadata() is simply empty.
+        path = str(tmp_path / "old.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(_result().to_dict()) + "\n")
+        store = ResultStore(path)
+        assert len(store.load()) == 1
+        assert store.metadata() == {}
+
+    def test_metadata_on_missing_store_is_empty(self, tmp_path):
+        assert ResultStore(str(tmp_path / "absent.jsonl")).metadata() == {}
+
+    def test_sweep_cli_persists_seed_and_specs(self, tmp_path):
+        from repro.cli import main
+
+        out = str(tmp_path / "sweep.jsonl")
+        rc = main([
+            "sweep", "--limit", "1", "--seed", "11", "--workers", "1",
+            "--solvers", "local", "--out", out,
+        ])
+        assert rc == 0
+        meta = ResultStore(out).metadata()
+        assert meta["seed"] == 11
+        assert meta["generator"] == "default_corpus"
+        assert meta["solvers"] == ["local"]
+        assert len(meta["specs"]) == 1
+        assert meta["specs"][0]["seed"] == 11
+
+        # The persisted specs regenerate the exact same instances.
+        from repro.instances import make_instance
+
+        inst = make_instance(meta["specs"][0])
+        assert inst.name == meta["specs"][0]["name"]

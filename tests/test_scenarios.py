@@ -1,0 +1,185 @@
+"""Scenario library: family catalogue, determinism, demand shapes, traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Policy
+from repro.dynamic import DemandEvent, FailureEvent
+from repro.instances import make_instance
+from repro.scenarios import (
+    DEMANDS,
+    FAMILIES,
+    TOPOLOGIES,
+    build_scenario,
+    failure_storm_trace,
+    family_names,
+    scenario_spec,
+)
+
+
+class TestCatalogue:
+    def test_full_topology_demand_cross(self):
+        assert len(FAMILIES) == len(TOPOLOGIES) * len(DEMANDS)
+        for topo in TOPOLOGIES:
+            for dem in DEMANDS:
+                assert f"{topo}/{dem}" in FAMILIES
+
+    def test_at_least_twelve_families(self):
+        # The conformance acceptance bar: >= 12 topology×demand families.
+        assert len(FAMILIES) >= 12
+
+    def test_family_names_sorted(self):
+        names = family_names()
+        assert names == sorted(names)
+        assert set(names) == set(FAMILIES)
+
+    def test_unknown_family_raises_with_catalogue(self):
+        with pytest.raises(KeyError, match="unknown scenario family"):
+            build_scenario("ring/uniform")
+
+
+class TestBuildScenario:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_every_family_builds_a_valid_instance(self, family):
+        inst = build_scenario(family, size=12, capacity=8, seed=1)
+        tree = inst.tree
+        assert len(tree.clients) >= 1
+        # Clients are exactly the leaves and respect r_i <= W.
+        assert all(tree.requests(c) <= inst.capacity for c in tree.clients)
+        assert all(tree.requests(v) == 0 for v in tree.internal_nodes)
+        assert inst.trivially_infeasible() is None
+
+    def test_deterministic_in_seed(self):
+        a = build_scenario("random_attachment/zipf", size=20, seed=5)
+        b = build_scenario("random_attachment/zipf", size=20, seed=5)
+        c = build_scenario("random_attachment/zipf", size=20, seed=6)
+        assert a.tree == b.tree
+        assert a.tree != c.tree
+
+    def test_star_is_flat(self):
+        inst = build_scenario("star/uniform", size=10, seed=0)
+        assert len(inst.tree.internal_nodes) == 1
+        assert len(inst.tree.clients) == 10
+
+    def test_spine_topologies_are_binary(self):
+        for topo in ("caterpillar", "deep_chain"):
+            inst = build_scenario(f"{topo}/uniform", size=12, seed=0)
+            assert inst.tree.is_binary, topo
+
+    def test_deep_chain_concentrates_demand_deep(self):
+        inst = build_scenario("deep_chain/uniform", size=16, seed=2)
+        tree = inst.tree
+        depths = sorted(tree.depth(c) for c in tree.clients)
+        spine_max = max(tree.depth(v) for v in tree.internal_nodes)
+        # Clients only hang off the deepest quarter of the spine.
+        assert len(tree.clients) == 4
+        assert depths[0] > spine_max / 2
+
+    def test_flash_crowd_has_hot_clients(self):
+        inst = build_scenario("star/flash_crowd", size=24, capacity=16, seed=3)
+        demands = [inst.tree.requests(c) for c in inst.tree.clients]
+        assert demands.count(16) >= 3  # ~1/8 of clients pinned at W
+        assert min(demands) <= 16 // 6 + 1  # a small baseline everywhere
+
+    def test_policy_and_dmax_forwarded(self):
+        inst = build_scenario(
+            "broom/zipf", size=9, capacity=7, dmax=3.5,
+            policy=Policy.MULTIPLE, seed=0,
+        )
+        assert inst.policy is Policy.MULTIPLE
+        assert inst.dmax == 3.5
+        assert inst.capacity == 7
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError, match="size"):
+            build_scenario("star/uniform", size=0)
+
+
+class TestGeneratorsIntegration:
+    def test_make_instance_accepts_scenario_kind(self):
+        spec = scenario_spec(
+            "caterpillar/heavy_tailed", size=10, capacity=9,
+            policy="multiple", seed=4,
+        )
+        inst = make_instance(spec)
+        assert inst.policy is Policy.MULTIPLE
+        assert inst.name == "caterpillar/heavy_tailed@4"
+        direct = build_scenario(
+            "caterpillar/heavy_tailed", size=10, capacity=9,
+            policy=Policy.MULTIPLE, seed=4,
+        )
+        assert inst.tree == direct.tree
+
+    def test_scenario_spec_is_json_plain(self):
+        import json
+
+        spec = scenario_spec("star/zipf", seed=2)
+        assert json.loads(json.dumps(spec)) == spec
+
+    def test_scenario_spec_rejects_unknown_family(self):
+        with pytest.raises(KeyError, match="unknown scenario family"):
+            scenario_spec("moebius/uniform")
+
+
+class TestFailureStormTrace:
+    def _instance(self, seed=0):
+        return build_scenario(
+            "random_attachment/uniform", size=20, capacity=10,
+            policy=Policy.MULTIPLE, seed=seed,
+        )
+
+    def test_deterministic_in_seed(self):
+        inst = self._instance()
+        a = failure_storm_trace(inst, seed=3)
+        b = failure_storm_trace(inst, seed=3)
+        assert a == b
+
+    def test_shape_storms_and_calm(self):
+        inst = self._instance()
+        trace = failure_storm_trace(inst, storms=3, storm_size=2, calm_steps=2, seed=1)
+        assert len(trace) == 3 * (1 + 2)
+        storm_batches = [
+            b for b in trace if any(isinstance(e, FailureEvent) for e in b)
+        ]
+        assert len(storm_batches) == 3
+        for batch in trace:
+            if batch not in storm_batches:
+                assert len(batch) == 1 and isinstance(batch[0], DemandEvent)
+
+    def test_storms_are_correlated_within_a_subtree(self):
+        inst = self._instance(seed=7)
+        tree = inst.tree
+        trace = failure_storm_trace(inst, storms=4, storm_size=3, seed=2)
+        for batch in trace:
+            fails = [e.node for e in batch if isinstance(e, FailureEvent)]
+            if len(fails) < 2:
+                continue
+            pivot = fails[0]
+            region = set(tree.subtree(pivot))
+            assert all(v in region for v in fails), (pivot, fails)
+
+    def test_never_fails_root_or_repeats(self):
+        inst = self._instance(seed=9)
+        trace = failure_storm_trace(inst, storms=6, storm_size=4, seed=5)
+        failed = [
+            e.node for b in trace for e in b if isinstance(e, FailureEvent)
+        ]
+        assert inst.tree.root not in failed
+        assert len(failed) == len(set(failed))
+        assert all(inst.tree.is_internal(v) for v in failed)
+
+    def test_jitter_levels_bounded_by_capacity(self):
+        inst = self._instance(seed=4)
+        trace = failure_storm_trace(inst, storms=2, calm_steps=5, seed=8)
+        for batch in trace:
+            for e in batch:
+                if isinstance(e, DemandEvent):
+                    assert e.requests in (1, inst.capacity)
+
+    def test_validation(self):
+        inst = self._instance()
+        with pytest.raises(ValueError):
+            failure_storm_trace(inst, storms=0)
+        with pytest.raises(ValueError):
+            failure_storm_trace(inst, storm_size=0)

@@ -1,0 +1,211 @@
+"""Conformance harness: invariants, grid coverage, report round-trip."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.runner import SolveResult, registry
+from repro.scenarios import (
+    REFERENCE_PAIRS,
+    REGIMES,
+    StressReport,
+    Violation,
+    build_scenario,
+    check_demand_monotonicity,
+    check_exact_dominance,
+    check_feasibility,
+    check_flat_reference_identity,
+    check_incremental_parity,
+    failure_storm_trace,
+    quick_config,
+    run_stress,
+)
+from repro.scenarios.harness import StressConfig
+
+
+def _res(solver, status="ok", n_replicas=5, replicas=(), **kw) -> SolveResult:
+    return SolveResult(
+        solver=solver, instance="cell", status=status,
+        n_replicas=n_replicas, replicas=list(replicas), **kw,
+    )
+
+
+class TestFeasibilityInvariant:
+    def test_ok_rows_pass(self):
+        assert check_feasibility("c", [_res("local"), _res("exact")]) == []
+
+    def test_invalid_and_error_flagged(self):
+        results = [
+            _res("local", status="invalid", error="InvalidPlacement: x"),
+            _res("exact", status="error", error="ZeroDivisionError: y"),
+            _res("single-gen", status="budget", error="SolverError: z"),
+        ]
+        violations = check_feasibility("c", results)
+        assert {v.solver for v in violations} == {"local", "exact"}
+        assert all(v.invariant == "feasibility" for v in violations)
+
+
+class TestExactDominanceInvariant:
+    def test_heuristic_below_optimum_flagged(self):
+        results = [_res("exact", n_replicas=5), _res("local", n_replicas=4)]
+        violations = check_exact_dominance("c", results)
+        assert len(violations) == 1
+        assert violations[0].solver == "local"
+        assert "heuristic beat the exact optimum" in violations[0].detail
+
+    def test_exact_disagreement_flagged(self):
+        results = [
+            _res("exact", n_replicas=5),
+            _res("exact-single", n_replicas=6),
+        ]
+        violations = check_exact_dominance("c", results)
+        assert len(violations) == 1
+        assert violations[0].solver == "exact-single"
+
+    def test_consistent_results_pass(self):
+        results = [
+            _res("exact", n_replicas=5),
+            _res("exact-single", n_replicas=5),
+            _res("local", n_replicas=9),
+            _res("single-gen", status="budget", n_replicas=None),
+        ]
+        assert check_exact_dominance("c", results) == []
+
+    def test_no_exact_rows_is_vacuous(self):
+        assert check_exact_dominance("c", [_res("local", n_replicas=1)]) == []
+
+
+class TestMonotonicityInvariant:
+    def test_holds_on_real_instance(self):
+        inst = build_scenario("broom/zipf", size=10, capacity=8, dmax=4.0, seed=0)
+        results = [registry.solve("exact-single", inst)]
+        assert results[0].status == "ok"
+        assert check_demand_monotonicity("c", inst, results) == []
+
+    def test_skipped_without_exact_results(self):
+        inst = build_scenario("broom/zipf", size=10, capacity=8, seed=0)
+        assert check_demand_monotonicity("c", inst, [_res("local")]) == []
+
+
+class TestFlatReferenceInvariant:
+    def test_identity_holds_on_real_instance(self):
+        from repro import Policy
+
+        inst = build_scenario(
+            "random_attachment/uniform", size=14, capacity=9,
+            policy=Policy.MULTIPLE, seed=1,
+        )
+        results = [
+            registry.solve(name, inst) for name in REFERENCE_PAIRS
+            if registry.get_solver(name).applicable(inst)
+        ]
+        assert any(r.status == "ok" for r in results)
+        assert check_flat_reference_identity("c", inst, results) == []
+
+    def test_divergence_flagged(self):
+        from repro import Policy
+
+        inst = build_scenario(
+            "star/uniform", size=8, capacity=9,
+            policy=Policy.MULTIPLE, seed=1,
+        )
+        real = registry.solve("multiple-nod-dp", inst)
+        assert real.status == "ok"
+        forged = dataclasses.replace(real, replicas=[999] + real.replicas[1:])
+        violations = check_flat_reference_identity("c", inst, [forged])
+        assert len(violations) == 1
+        assert violations[0].invariant == "flat-reference-identity"
+
+
+class TestIncrementalParityInvariant:
+    def test_holds_over_failure_storm(self):
+        from repro import Policy
+
+        inst = build_scenario(
+            "random_attachment/zipf", size=18, capacity=10,
+            policy=Policy.MULTIPLE, seed=2,
+        )
+        trace = failure_storm_trace(inst, storms=2, storm_size=2, seed=3)
+        assert check_incremental_parity("c", inst, trace) == []
+
+
+class TestQuickGrid:
+    """The pinned CI gate, exercised on a slice plus one full pass."""
+
+    def test_quick_grid_zero_violations_full_coverage(self):
+        # The acceptance bar: every family, every registered solver,
+        # zero invariant violations on the pinned seeds.
+        report = run_stress(quick_config())
+        assert report.n_families >= 12
+        assert report.ok, [str(v) for v in report.violations]
+        assert report.uncovered == []
+        registered = {s.name for s in registry.available_solvers()}
+        assert set(report.solver_runs) == registered
+
+    def test_family_subset_and_progress_callback(self):
+        seen = []
+        report = run_stress(
+            quick_config(families=["star/uniform"]),
+            on_cell=seen.append,
+        )
+        assert report.n_cells == 2  # one family × two regimes × one seed
+        assert [r.cell for r in seen] == [r.cell for r in report.cells]
+        assert all(r.family == "star/uniform" for r in report.cells)
+
+    def test_solver_subset_filters_runs(self):
+        report = run_stress(
+            quick_config(families=["broom/uniform"], solvers=["local"])
+        )
+        assert set(report.solver_runs) == {"local"}
+        assert report.uncovered == []
+
+    def test_unknown_regime_rejected(self):
+        config = dataclasses.replace(
+            quick_config(families=["star/uniform"]), regimes=["warp"]
+        )
+        with pytest.raises(KeyError, match="unknown regime"):
+            run_stress(config)
+
+    def test_regime_size_caps_apply(self):
+        config = StressConfig(
+            families=["star/uniform"], seeds=[0],
+            regimes=["multiple"], regimes_per_family=1, size=50,
+        )
+        cells = config.cells()
+        assert len(cells) == 1
+        assert cells[0].size == REGIMES["multiple"].size_cap
+
+
+class TestStressReport:
+    def test_round_trip(self):
+        report = run_stress(quick_config(families=["star/zipf"]))
+        data = report.to_dict()
+        back = StressReport.from_dict(data)
+        assert back.to_dict() == data
+        assert back.ok == report.ok
+        assert back.n_cells == report.n_cells
+
+    def test_violation_round_trip(self):
+        v = Violation("feasibility", "cell", "local", "boom")
+        assert Violation.from_dict(v.to_dict()) == v
+
+    def test_rendering_mentions_verdict_and_families(self):
+        from repro.analysis import stress_report
+
+        report = run_stress(quick_config(families=["star/zipf"]))
+        text = stress_report(report)
+        assert "Scenario conformance — PASS" in text
+        assert "star/zipf" in text
+        assert "Solver coverage" in text
+
+    def test_rendering_lists_violations_on_failure(self):
+        from repro.analysis import stress_report
+
+        report = StressReport(
+            violations=[Violation("feasibility", "c", "local", "boom")]
+        )
+        text = stress_report(report)
+        assert "FAIL (1 violations)" in text
+        assert "boom" in text
