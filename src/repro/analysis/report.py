@@ -75,6 +75,25 @@ def service_report(stats) -> str:
     lines.append(f"| latency p95 (ms) | {stats.latency_ms_p95:.2f} |")
     lines.append(f"| latency max (ms) | {stats.latency_ms_max:.2f} |")
     lines.append("")
+    d = getattr(stats, "durability", None)
+    if d is not None:
+        lines += ["### Durability", ""]
+        lines.append(
+            f"State persisted in `{d.data_dir}` (see `docs/durability.md`): "
+            f"WAL at seq {d.last_seq} ({d.wal_bytes} bytes), last snapshot "
+            f"at seq {d.last_snapshot_seq}."
+        )
+        lines.append("")
+        lines.append("| metric | value |")
+        lines.append("|--------|------:|")
+        lines.append(f"| records appended | {d.records_appended} |")
+        lines.append(f"| records replayed at startup | {d.records_replayed} |")
+        lines.append(f"| stale records skipped | {d.records_skipped} |")
+        lines.append(f"| snapshots written | {d.snapshots_written} |")
+        lines.append(f"| recovery time (s) | {d.recovery_s:.3f} |")
+        torn = "yes" if d.torn_tail_recovered else "no"
+        lines.append(f"| torn tail truncated | {torn} |")
+        lines.append("")
     return "\n".join(lines)
 
 

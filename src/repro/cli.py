@@ -11,7 +11,8 @@ Subcommands::
     repro sweep --out sweep.jsonl
     repro compare --store sweep.jsonl
     repro stress --quick
-    repro serve --port 8350
+    repro serve --port 8350 --data-dir state/
+    repro recover --data-dir state/
 
 ``solve`` writes the placement JSON to stdout (or ``--out``) and prints
 a summary to stderr, so pipelines can chain ``solve | check``.
@@ -24,7 +25,10 @@ a randomized change-event trace against the online re-placement engine
 (:mod:`repro.dynamic`) and prints the repair-vs-resolve report.
 ``stress`` runs the differential conformance harness — every
 registered solver over the adversarial scenario grid, gated on
-solver-independent invariants (:mod:`repro.scenarios`).
+solver-independent invariants (:mod:`repro.scenarios`).  ``serve
+--data-dir`` makes the daemon durable (WAL + snapshots,
+:mod:`repro.storage`); ``recover`` inspects and replays such a data
+directory offline without binding a socket.
 
 Every verb's ``--help`` epilog names the ``docs/`` page covering it;
 ``repro --version`` reports the installed package version.
@@ -575,14 +579,116 @@ def _cmd_stress(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import serve
+    from .storage import RecoveryError
 
-    return serve(
-        args.host,
-        args.port,
-        cache_size=args.cache_size,
-        default_budget=args.budget,
-        verbose=args.verbose,
+    try:
+        return serve(
+            args.host,
+            args.port,
+            cache_size=args.cache_size,
+            default_budget=args.budget,
+            verbose=args.verbose,
+            data_dir=args.data_dir,
+            snapshot_interval=args.snapshot_interval,
+        )
+    except RecoveryError as exc:
+        # Structural damage in --data-dir: refuse to start rather than
+        # silently serving from partial state.  `repro recover` is the
+        # offline inspection path.
+        raise _CliError(
+            f"cannot recover service state: {exc} "
+            f"(inspect with: repro recover --data-dir {args.data_dir})"
+        ) from None
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    import json as _json
+    import os
+
+    from .service import PlacementService
+    from .storage import (
+        RecoveryError,
+        StateStore,
+        decode_record,
+        list_snapshots,
+        scan_wal,
     )
+
+    wal_path = os.path.join(args.data_dir, StateStore.WAL_FILENAME)
+    if not os.path.isdir(args.data_dir):
+        raise _CliError(f"no such data directory: {args.data_dir}")
+
+    # Offline structure pass first: what is on disk, before any replay.
+    snapshots = list_snapshots(args.data_dir)
+    try:
+        scan = scan_wal(wal_path)
+        kinds: dict = {}
+        for _seq, payload in scan.records:
+            record = decode_record(payload)
+            kinds[record.kind] = kinds.get(record.kind, 0) + 1
+    except RecoveryError as exc:
+        raise _CliError(f"write-ahead log is damaged: {exc}") from None
+
+    # Full replay pass: rebuild the service state exactly as `repro
+    # serve --data-dir` would, then report what came back.
+    try:
+        service = PlacementService(
+            store=StateStore(args.data_dir, snapshot_interval=0)
+        )
+    except RecoveryError as exc:
+        raise _CliError(f"replay failed: {exc}") from None
+    try:
+        stats = service.stats()
+        dur = stats.durability
+        sessions = service.dynamic_sessions()
+        compacted_seq = None
+        if args.compact:
+            compacted_seq = service.persist_now()
+        if args.json:
+            print(_json.dumps({
+                "data_dir": args.data_dir,
+                "snapshots": [seq for seq, _path in snapshots],
+                "wal_records": len(scan.records),
+                "wal_bytes": scan.valid_bytes,
+                "torn_tail": scan.torn_tail,
+                "record_kinds": kinds,
+                "durability": dur.to_wire(),
+                "sessions": sessions,
+                "cache_entries": stats.cache.size,
+                "state_fingerprint": service.state_fingerprint(),
+                "compacted_to_seq": compacted_seq,
+            }, indent=2, sort_keys=True))
+            return 0
+        print(f"recovery report for {args.data_dir}")
+        if snapshots:
+            print(f"  snapshots: {', '.join(f'seq {s}' for s, _ in snapshots)}")
+        else:
+            print("  snapshots: none")
+        torn = " (torn tail truncated on replay)" if scan.torn_tail else ""
+        print(
+            f"  wal: {len(scan.records)} intact records, "
+            f"{scan.valid_bytes} valid bytes{torn}"
+        )
+        for kind in sorted(kinds):
+            print(f"    {kind}: {kinds[kind]}")
+        print(
+            f"  replay: ok — {dur.records_replayed} records replayed, "
+            f"{dur.records_skipped} stale skipped, "
+            f"{len(sessions)} open session(s), "
+            f"{stats.cache.size} cache entries"
+        )
+        for s in sessions:
+            cost = s["n_replicas"] if s["n_replicas"] is not None else "-"
+            print(
+                f"    {s['session_id']}: solver={s['solver']} "
+                f"cost={cost} failed={s['failed_hosts']}"
+            )
+        print(f"  state fingerprint: {service.state_fingerprint()}")
+        if compacted_seq is not None:
+            print(f"  compacted: snapshot written at seq {compacted_seq}")
+        return 0
+    finally:
+        service.close()
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -838,7 +944,27 @@ def build_parser() -> argparse.ArgumentParser:
                      help="default search budget for budgeted solvers")
     srv.add_argument("--verbose", action="store_true",
                      help="log one access line per request to stderr")
+    srv.add_argument("--data-dir", default=None,
+                     help="persist service state here (WAL + snapshots) and "
+                          "recover it on startup; see docs/durability.md")
+    srv.add_argument("--snapshot-interval", type=int, default=256,
+                     help="auto-snapshot after this many logged records "
+                          "(0 disables; snapshot still taken on shutdown)")
     srv.set_defaults(func=_cmd_serve)
+
+    rec = sub.add_parser(
+        "recover",
+        help="inspect and replay a serve --data-dir offline",
+        epilog=_docs("durability"),
+    )
+    rec.add_argument("--data-dir", required=True,
+                     help="data directory written by repro serve --data-dir")
+    rec.add_argument("--json", action="store_true",
+                     help="emit the report as JSON instead of text")
+    rec.add_argument("--compact", action="store_true",
+                     help="after a clean replay, write a fresh snapshot and "
+                          "compact the write-ahead log")
+    rec.set_defaults(func=_cmd_recover)
 
     rep = sub.add_parser(
         "report",

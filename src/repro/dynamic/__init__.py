@@ -40,6 +40,8 @@ from .events import (
     FailureEvent,
     apply_event,
     describe_events,
+    event_from_wire,
+    event_to_wire,
     random_event_trace,
 )
 from .fingerprints import instance_salt, root_fingerprint, subtree_fingerprints
@@ -65,6 +67,8 @@ __all__ = [
     "apply_event",
     "random_event_trace",
     "describe_events",
+    "event_to_wire",
+    "event_from_wire",
     "subtree_fingerprints",
     "instance_salt",
     "root_fingerprint",

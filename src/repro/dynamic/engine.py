@@ -116,18 +116,32 @@ class DynamicPlacement:
         own solver (``"multiple-nod-dp"`` / ``"single-nod"``) is
         equivalent; any other registered name forces full-resolve mode
         through that solver.
+    failed:
+        Hosts already crashed before this engine existed — used by the
+        storage layer to restore a session from a snapshot.  The initial
+        solve honours them exactly like replayed failure events.
+    strict:
+        With ``strict=False`` an unsolvable initial snapshot leaves the
+        engine standing with ``placement=None`` (the state a live engine
+        reaches after a failed repair) instead of raising — again for
+        snapshot restore, where that is a legitimate persisted state.
 
     Raises
     ------
     InfeasibleInstanceError
-        If the initial snapshot has no placement.
+        If the initial snapshot has no placement (``strict=True`` only).
     """
 
     def __init__(
-        self, instance: ProblemInstance, solver: Optional[str] = None
+        self,
+        instance: ProblemInstance,
+        solver: Optional[str] = None,
+        *,
+        failed: FrozenSet[int] = frozenset(),
+        strict: bool = True,
     ) -> None:
         self._instance = instance
-        self._failed: FrozenSet[int] = frozenset()
+        self._failed: FrozenSet[int] = frozenset(failed)
         self._backend = None
         self._solver_name = solver
         if not instance.has_distance_constraint:
@@ -149,7 +163,18 @@ class DynamicPlacement:
         # One mutex serialises apply/resolve_full so the engine can sit
         # behind the threaded service façade unchanged.
         self._mutex = threading.RLock()
-        placement, _stats, _mode, _reason = self._solve_current()
+        try:
+            placement, _stats, _mode, _reason = self._solve_current()
+        except ReproError:
+            if strict:
+                raise
+            # Snapshot restore of a session whose last repair failed:
+            # the persisted state legitimately has no standing placement.
+            placement = None
+        if placement is None and strict:
+            raise InfeasibleInstanceError(
+                "initial snapshot admits no placement after failure repair"
+            )
         self._placement = placement
 
     # -- introspection -------------------------------------------------
@@ -179,6 +204,27 @@ class DynamicPlacement:
     def incremental(self) -> bool:
         """True when an incremental backend is active."""
         return self._backend is not None
+
+    @property
+    def requested_solver(self) -> Optional[str]:
+        """The solver name this engine was constructed with (``None`` = auto).
+
+        Distinct from :attr:`solver_name` (the resolved semantics): a
+        restored engine must be rebuilt from the *requested* name so
+        auto-selection re-runs identically.
+        """
+        return self._solver_name
+
+    def checkpoint(
+        self,
+    ) -> Tuple[ProblemInstance, Optional[str], FrozenSet[int]]:
+        """Atomic ``(instance, requested_solver, failed_hosts)`` snapshot.
+
+        Taken under the engine mutex so the storage layer never captures
+        a half-applied event batch.
+        """
+        with self._mutex:
+            return self._instance, self._solver_name, self._failed
 
     def fingerprint(self) -> str:
         """Content fingerprint of the current snapshot (+ failures)."""

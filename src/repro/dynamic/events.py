@@ -40,6 +40,8 @@ __all__ = [
     "apply_event",
     "random_event_trace",
     "describe_events",
+    "event_to_wire",
+    "event_from_wire",
 ]
 
 
@@ -227,3 +229,49 @@ def random_event_trace(
 def describe_events(events: Sequence[ChangeEvent]) -> str:
     """Compact one-line rendering of an event batch."""
     return ", ".join(e.describe() for e in events)
+
+
+# -- wire codec ---------------------------------------------------------
+# One JSON shape per event kind, shared by the HTTP dynamic endpoints
+# and the storage layer's WAL records, so a persisted event replays
+# byte-identically to the live one.
+
+def event_to_wire(event: ChangeEvent) -> dict:
+    """Plain-JSON representation of one change event."""
+    if isinstance(event, DemandEvent):
+        return {"kind": "demand", "client": event.client, "requests": event.requests}
+    if isinstance(event, FailureEvent):
+        return {"kind": "fail", "node": event.node}
+    if isinstance(event, CapacityEvent):
+        return {"kind": "capacity", "capacity": event.capacity}
+    raise InvalidInstanceError(f"unknown event type {type(event).__name__}")
+
+
+def event_from_wire(data: dict) -> ChangeEvent:
+    """Inverse of :func:`event_to_wire`.
+
+    Raises
+    ------
+    InvalidInstanceError
+        For an unknown ``kind`` tag or missing/non-integer fields.
+        Topology-level validation (does the client exist? is the level
+        non-negative?) stays in :func:`apply_event`, which sees the
+        instance.
+    """
+    if not isinstance(data, dict):
+        raise InvalidInstanceError(
+            f"event must be a JSON object, got {type(data).__name__}"
+        )
+    kind = data.get("kind")
+    try:
+        if kind == "demand":
+            return DemandEvent(int(data["client"]), int(data["requests"]))
+        if kind == "fail":
+            return FailureEvent(int(data["node"]))
+        if kind == "capacity":
+            return CapacityEvent(int(data["capacity"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidInstanceError(
+            f"malformed {kind!r} event: {type(exc).__name__}: {exc}"
+        ) from None
+    raise InvalidInstanceError(f"unknown event kind {kind!r}")

@@ -20,6 +20,7 @@ import json
 import os
 from typing import Dict, Iterable, Iterator, List, Set
 
+from ..storage.fsutil import durable_append_line
 from .result import SolveResult
 
 __all__ = ["ResultStore"]
@@ -77,13 +78,17 @@ class ResultStore:
 
     # ------------------------------------------------------------------
     def _append_line(self, payload: dict) -> None:
-        """Durably append one JSON row, creating the file if needed."""
+        """Durably append one JSON row, creating the file if needed.
+
+        Uses :func:`~repro.storage.fsutil.durable_append_line`, which
+        repairs a missing trailing newline first: a row torn by a crash
+        mid-append costs only itself, never the next row appended after
+        the restart (the torn fragment stays on its own line, where
+        :meth:`_rows` skips it as malformed JSON).
+        """
         parent = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(parent, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(json.dumps(payload, sort_keys=True) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+        durable_append_line(self.path, json.dumps(payload, sort_keys=True))
 
     def append(self, result: SolveResult) -> None:
         """Append one result row."""

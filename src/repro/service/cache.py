@@ -100,6 +100,16 @@ class ResultCache(Generic[V]):
         with self._lock:
             return self._data.pop(key, None) is not None
 
+    def entries(self) -> "list[tuple[str, V]]":
+        """``(key, value)`` pairs in LRU order (oldest first).
+
+        Used by the storage layer to snapshot the cache: replaying the
+        pairs through :meth:`put` in this order reproduces both the
+        contents and the eviction order at capture time.
+        """
+        with self._lock:
+            return list(self._data.items())
+
     def clear(self) -> None:
         """Drop every entry (counters are kept — they are lifetime stats)."""
         with self._lock:

@@ -20,21 +20,46 @@ Endpoints
     applicability metadata and auto-chain membership per solver.
 ``GET /v1/healthz``
     Liveness plus service stats (requests, cache hit rate, latency
-    percentiles, uptime).
+    percentiles, uptime; when running with ``--data-dir``, a
+    ``durability`` section: data dir, last/snapshot sequence numbers,
+    WAL size, replay counters).
+``POST /v1/dynamic/start``
+    Body: ``{"schema": 1, "instance": {...}, "solver": str|null}``.
+    Opens an online re-placement session; returns ``{"session_id",
+    "solver", "n_replicas", "fingerprint"}``.
+``POST /v1/dynamic/apply``
+    Body: ``{"schema": 1, "session_id": str, "events": [...]}`` with
+    events in the :func:`~repro.dynamic.event_to_wire` shape.  Folds
+    the batch into the session and returns the repair outcome.
+``POST /v1/dynamic/close``
+    Body: ``{"schema": 1, "session_id": str}``.  Drops the session.
+``GET /v1/dynamic``
+    Lists open sessions with solver, cost and failed hosts.
 
 Anything else is a JSON 404.  Errors outside solver code map to the
 ``{"error": {"code", "message"}}`` shape clients already parse.
+
+Durability: ``serve(..., data_dir=...)`` backs the service with a
+:class:`~repro.storage.StateStore` — sessions and cache entries are
+write-ahead logged and recovered on restart — and installs
+``SIGTERM``/``SIGINT`` handlers that snapshot + compact before exiting,
+so a polite shutdown restarts from a snapshot instead of a log replay
+(``kill -9`` still recovers, from WAL replay; see
+``docs/durability.md``).
 """
 
 from __future__ import annotations
 
 import json
+import signal
 import sys
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
-from .facade import PlacementService
+from ..core.errors import ReproError
+from ..storage import StateStore
+from .facade import PlacementService, UnknownSessionError
 from .schema import (
     WIRE_SCHEMA_VERSION,
     ErrorCode,
@@ -148,13 +173,28 @@ class _Handler(BaseHTTPRequestHandler):
                     "solvers": self.server.service.solver_info(),
                 },
             )
+        elif self.path == "/v1/dynamic":
+            self._send_json(
+                200,
+                {
+                    "schema": WIRE_SCHEMA_VERSION,
+                    "sessions": self.server.service.dynamic_sessions(),
+                },
+            )
         else:
             self._send_error_json(
                 404, ErrorCode.BAD_REQUEST, f"no such endpoint: {self.path}"
             )
 
     def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
-        if self.path != "/v1/solve":
+        routes = {
+            "/v1/solve": self._post_solve,
+            "/v1/dynamic/start": self._post_dynamic_start,
+            "/v1/dynamic/apply": self._post_dynamic_apply,
+            "/v1/dynamic/close": self._post_dynamic_close,
+        }
+        route = routes.get(self.path)
+        if route is None:
             # The unread POST body would desync keep-alive (parsed as
             # the next request line), so drop the connection too.
             self.close_connection = True
@@ -172,6 +212,9 @@ class _Handler(BaseHTTPRequestHandler):
                 400, ErrorCode.BAD_REQUEST, f"body is not JSON: {exc}"
             )
             return
+        route(payload)
+
+    def _post_solve(self, payload: object) -> None:
         try:
             request = SolveRequest.from_wire(payload)
         except WireFormatError as exc:
@@ -183,6 +226,136 @@ class _Handler(BaseHTTPRequestHandler):
             http_status = 400
         self._send_json(http_status, response.to_wire())
 
+    # -- dynamic sessions ----------------------------------------------
+    def _check_envelope(self, payload: object) -> Optional[dict]:
+        """Common schema/shape validation for the dynamic endpoints."""
+        if not isinstance(payload, dict):
+            self._send_error_json(
+                400,
+                ErrorCode.BAD_REQUEST,
+                f"body must be a JSON object, got {type(payload).__name__}",
+            )
+            return None
+        if payload.get("schema") != WIRE_SCHEMA_VERSION:
+            self._send_error_json(
+                400,
+                ErrorCode.BAD_REQUEST,
+                f"unsupported wire schema {payload.get('schema')!r} "
+                f"(this service speaks version {WIRE_SCHEMA_VERSION})",
+            )
+            return None
+        return payload
+
+    def _post_dynamic_start(self, payload: object) -> None:
+        from ..instances.io import instance_from_dict
+
+        payload = self._check_envelope(payload)
+        if payload is None:
+            return
+        solver = payload.get("solver")
+        if solver is not None and not isinstance(solver, str):
+            self._send_error_json(
+                400, ErrorCode.BAD_REQUEST, "'solver' must be a string or null"
+            )
+            return
+        try:
+            instance = instance_from_dict(payload["instance"])
+        except KeyError:
+            self._send_error_json(
+                400, ErrorCode.BAD_REQUEST, "request is missing 'instance'"
+            )
+            return
+        except Exception as exc:  # noqa: BLE001 — normalise codec failures
+            self._send_error_json(
+                400,
+                ErrorCode.BAD_REQUEST,
+                f"bad instance payload — {type(exc).__name__}: {exc}",
+            )
+            return
+        service = self.server.service
+        try:
+            session_id = service.start_dynamic(instance, solver=solver)
+        except ReproError as exc:
+            # An unsolvable initial snapshot (or unknown solver) is the
+            # caller's problem, reported structurally, not a 500.
+            self._send_error_json(400, ErrorCode.INFEASIBLE, str(exc))
+            return
+        engine = service.dynamic_session(session_id)
+        placement = engine.placement
+        self._send_json(
+            200,
+            {
+                "schema": WIRE_SCHEMA_VERSION,
+                "session_id": session_id,
+                "solver": engine.solver_name,
+                "n_replicas": (
+                    placement.n_replicas if placement is not None else None
+                ),
+                "fingerprint": engine.fingerprint(),
+            },
+        )
+
+    def _post_dynamic_apply(self, payload: object) -> None:
+        from ..dynamic import event_from_wire
+
+        payload = self._check_envelope(payload)
+        if payload is None:
+            return
+        session_id = payload.get("session_id")
+        if not isinstance(session_id, str):
+            self._send_error_json(
+                400, ErrorCode.BAD_REQUEST, "'session_id' must be a string"
+            )
+            return
+        raw_events = payload.get("events")
+        if not isinstance(raw_events, list):
+            self._send_error_json(
+                400, ErrorCode.BAD_REQUEST, "'events' must be a list"
+            )
+            return
+        try:
+            events: List[object] = [event_from_wire(e) for e in raw_events]
+        except ReproError as exc:
+            self._send_error_json(400, ErrorCode.BAD_REQUEST, str(exc))
+            return
+        try:
+            outcome = self.server.service.apply_events(session_id, events)
+        except UnknownSessionError:
+            self._send_error_json(
+                404, ErrorCode.BAD_REQUEST, f"no such session: {session_id}"
+            )
+            return
+        self._send_json(
+            200,
+            {
+                "schema": WIRE_SCHEMA_VERSION,
+                "session_id": session_id,
+                "ok": outcome.ok,
+                "mode": outcome.mode,
+                "cost": outcome.cost,
+                "repair_s": outcome.repair_s,
+                "fallback_reason": outcome.fallback_reason,
+                "error": outcome.error,
+                "fingerprint": outcome.fingerprint,
+            },
+        )
+
+    def _post_dynamic_close(self, payload: object) -> None:
+        payload = self._check_envelope(payload)
+        if payload is None:
+            return
+        session_id = payload.get("session_id")
+        if not isinstance(session_id, str):
+            self._send_error_json(
+                400, ErrorCode.BAD_REQUEST, "'session_id' must be a string"
+            )
+            return
+        self.server.service.close_dynamic(session_id)
+        self._send_json(
+            200,
+            {"schema": WIRE_SCHEMA_VERSION, "session_id": session_id, "closed": True},
+        )
+
 
 def make_server(
     host: str = "127.0.0.1",
@@ -192,20 +365,60 @@ def make_server(
     cache_size: int = 256,
     default_budget: Optional[int] = None,
     verbose: bool = False,
+    data_dir: Optional[str] = None,
+    snapshot_interval: int = 256,
 ) -> PlacementServer:
     """Build (but do not start) a daemon bound to ``host:port``.
 
     ``port=0`` binds an ephemeral port — read it back from
     ``server.server_address`` — which is what the tests and the CI smoke
-    job use to avoid collisions.
+    job use to avoid collisions.  ``data_dir`` backs the service with a
+    :class:`~repro.storage.StateStore`: state recovered before the
+    socket binds, every mutation WAL-logged after (ignored when an
+    explicit ``service`` is passed — wire its store yourself).
     """
     if service is None:
+        store = (
+            StateStore(data_dir, snapshot_interval=snapshot_interval)
+            if data_dir is not None
+            else None
+        )
         service = PlacementService(
-            cache_size=cache_size, default_budget=default_budget
+            cache_size=cache_size, default_budget=default_budget, store=store
         )
     server = PlacementServer((host, port), service)
     server.verbose = verbose
     return server
+
+
+def _install_graceful_shutdown(server: PlacementServer) -> dict:
+    """SIGTERM/SIGINT -> stop accepting and fall through to the flush path.
+
+    Only possible from the main thread (a CPython restriction on
+    ``signal.signal``); background-thread servers — the test harness —
+    keep the default handlers.  The handler must not call
+    ``server.shutdown()`` directly: it runs *on* the main thread, which
+    is blocked inside ``serve_forever``, and ``shutdown()`` waits for
+    that loop to exit — a deadlock — so a helper thread issues it.
+    Returns the previous handlers for restoration.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return {}
+
+    def _graceful(signum: int, frame: object) -> None:
+        name = signal.Signals(signum).name
+        print(
+            f"repro serve: {name} received — flushing state and exiting",
+            file=sys.stderr,
+        )
+        threading.Thread(
+            target=server.shutdown, name="repro-serve-shutdown", daemon=True
+        ).start()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, _graceful)
+    return previous
 
 
 def serve(
@@ -216,21 +429,34 @@ def serve(
     default_budget: Optional[int] = None,
     verbose: bool = False,
     ready: Optional[threading.Event] = None,
+    data_dir: Optional[str] = None,
+    snapshot_interval: int = 256,
 ) -> int:
-    """Run the daemon until interrupted; returns a process exit code."""
+    """Run the daemon until interrupted; returns a process exit code.
+
+    With ``data_dir`` the service is durable: state is recovered before
+    the socket binds, and a SIGTERM/SIGINT triggers a final snapshot +
+    WAL compaction before exit (``kill -9`` skips that and recovers
+    from the log on the next start instead).
+    """
     server = make_server(
         host,
         port,
         cache_size=cache_size,
         default_budget=default_budget,
         verbose=verbose,
+        data_dir=data_dir,
+        snapshot_interval=snapshot_interval,
     )
     bound_host, bound_port = server.server_address[:2]
+    durable = f", durable in {data_dir}" if data_dir is not None else ""
     print(
         f"repro serve: listening on http://{bound_host}:{bound_port} "
-        f"(POST /v1/solve, GET /v1/solvers, GET /v1/healthz)",
+        f"(POST /v1/solve, GET /v1/solvers, GET /v1/healthz, "
+        f"POST /v1/dynamic/*{durable})",
         file=sys.stderr,
     )
+    previous_handlers = _install_graceful_shutdown(server)
     if ready is not None:
         ready.set()
     try:
@@ -238,7 +464,14 @@ def serve(
     except KeyboardInterrupt:
         print("repro serve: shutting down", file=sys.stderr)
     finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
         server.server_close()
+        seq = server.service.persist_now()
+        if seq is not None:
+            print(
+                f"repro serve: state snapshotted at seq {seq}", file=sys.stderr
+            )
         stats = server.service.stats()
         server.service.close()
         if stats.requests:

@@ -39,15 +39,33 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
+from hashlib import blake2b
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set
 
 from ..core.bounds import lower_bound
 from ..core.instance import ProblemInstance
 from ..core.placement import Placement
 from ..core.validation import placement_violations
+from ..instances.io import (
+    canonical_json,
+    instance_from_dict,
+    instance_to_dict,
+    placement_to_dict,
+)
 from ..runner import registry
 from ..runner.result import Status
 from ..runner.registry import UnknownSolverError
+from ..storage import (
+    CachePut,
+    CacheRemove,
+    DurabilityStats,
+    LogRecord,
+    RecoveryError,
+    SessionClose,
+    SessionEvents,
+    SessionStart,
+    StateStore,
+)
 from .cache import CacheStats, ResultCache
 from .fingerprint import combine_fingerprint, instance_fingerprint
 from .schema import Diagnostics, ErrorCode, ErrorInfo, SolveRequest, SolveResponse
@@ -57,6 +75,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from ..dynamic import ChangeEvent, DynamicPlacement, RepairOutcome
 
 __all__ = ["PlacementService", "ServiceStats", "UnknownSessionError"]
+
+#: Version tag of the snapshot ``state`` object the service produces.
+STATE_SCHEMA_VERSION = 1
 
 
 class UnknownSessionError(KeyError):
@@ -80,6 +101,19 @@ def _percentile(sorted_values: Sequence[float], q: float) -> float:
     return sorted_values[idx]
 
 
+def _session_ordinal(session_id: str) -> int:
+    """The ``<n>`` in ``dyn-<n>-<fp8>`` (0 for foreign id shapes).
+
+    Replay uses it to fast-forward the session counter so ids minted
+    after recovery never collide with recovered ones.
+    """
+    parts = session_id.split("-")
+    try:
+        return int(parts[1]) if len(parts) > 1 else 0
+    except ValueError:
+        return 0
+
+
 @dataclass(frozen=True)
 class ServiceStats:
     """Point-in-time service counters for health checks and reports."""
@@ -92,9 +126,12 @@ class ServiceStats:
     latency_ms_p95: float = 0.0
     latency_ms_max: float = 0.0
     uptime_s: float = 0.0
+    #: Durability counters when a :class:`~repro.storage.StateStore` is
+    #: attached (``None`` for an in-memory-only service).
+    durability: Optional[DurabilityStats] = None
 
     def to_wire(self) -> dict:
-        return {
+        wire = {
             "requests": self.requests,
             "by_status": dict(self.by_status),
             "cache": {
@@ -113,6 +150,9 @@ class ServiceStats:
             },
             "uptime_s": self.uptime_s,
         }
+        if self.durability is not None:
+            wire["durability"] = self.durability.to_wire()
+        return wire
 
 
 class PlacementService:
@@ -129,6 +169,14 @@ class PlacementService:
     default_budget:
         Budget applied when a request carries none (forwarded only to
         solvers that declare a budget kwarg).
+    store:
+        Optional :class:`~repro.storage.StateStore` making the service's
+        mutable state — dynamic sessions and the result cache — durable:
+        every mutation is write-ahead logged before being applied, and
+        the constructor replays ``snapshot + log tail`` so a restarted
+        service resumes exactly where the old one stopped.  Raises
+        :class:`~repro.storage.RecoveryError` when the persisted state
+        is structurally damaged.
     """
 
     # Sliding window of per-request service latencies kept for stats.
@@ -139,6 +187,7 @@ class PlacementService:
         cache_size: int = 256,
         workers: Optional[int] = None,
         default_budget: Optional[int] = None,
+        store: Optional[StateStore] = None,
     ) -> None:
         self._cache: ResultCache[SolveResponse] = ResultCache(cache_size)
         self._workers = workers
@@ -154,14 +203,27 @@ class PlacementService:
         self._fp_index: Dict[str, Set[str]] = {}
         self._sessions: Dict[str, "DynamicPlacement"] = {}
         self._session_seq = 0
+        self._store: Optional[StateStore] = None
+        self._replaying = False
+        if store is not None:
+            self._attach_store(store)
 
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool and state store down (idempotent).
+
+        The store is closed *without* a snapshot — closing is
+        crash-equivalent by design, so recovery paths stay exercised.
+        Call :meth:`persist_now` first for a clean handoff (the daemon's
+        graceful-shutdown path does).
+        """
         with self._lock:
             pool, self._pool = self._pool, None
+            store, self._store = self._store, None
         if pool is not None:
             pool.shutdown(wait=True)
+        if store is not None:
+            store.close()
 
     def __enter__(self) -> "PlacementService":
         return self
@@ -225,17 +287,19 @@ class PlacementService:
             # entry gets its own diagnostics/counters: the object
             # handed back to the caller is mutable, and caller edits
             # must not leak into future cache hits.
-            self._cache.put(
-                fp,
-                replace(
-                    response,
-                    diagnostics=replace(
-                        response.diagnostics,
-                        counters=dict(response.diagnostics.counters),
-                    ),
+            entry = replace(
+                response,
+                diagnostics=replace(
+                    response.diagnostics,
+                    counters=dict(response.diagnostics.counters),
                 ),
             )
+            seq = self._log(
+                CachePut(key=fp, instance_fp=inst_fp, response=entry.to_wire())
+            )
+            self._cache.put(fp, entry)
             self._index_key(inst_fp, fp)
+            self._note_applied(seq)
         if not request.include_assignments:
             response = replace(response, placement=None)
         self._record(response)
@@ -396,12 +460,41 @@ class PlacementService:
         """
         from ..dynamic import DynamicPlacement
 
+        # Solve first: an infeasible snapshot raises here and nothing is
+        # logged — the WAL only ever records sessions that opened.
         engine = DynamicPlacement(instance, solver=solver)
         with self._lock:
             self._session_seq += 1
             session_id = f"dyn-{self._session_seq}-{engine.fingerprint()[:8]}"
+        seq = self._log(
+            SessionStart(
+                session_id=session_id,
+                instance=instance_to_dict(instance),
+                solver=solver,
+            )
+        )
+        with self._lock:
             self._sessions[session_id] = engine
+        self._note_applied(seq)
         return session_id
+
+    def dynamic_sessions(self) -> List[dict]:
+        """One JSON-able summary per open dynamic session (sorted by id)."""
+        with self._lock:
+            sessions = sorted(self._sessions.items(), key=lambda kv: kv[0])
+        out = []
+        for sid, engine in sessions:
+            placement = engine.placement
+            out.append({
+                "session_id": sid,
+                "solver": engine.solver_name,
+                "fingerprint": engine.fingerprint(),
+                "n_replicas": (
+                    placement.n_replicas if placement is not None else None
+                ),
+                "failed_hosts": sorted(engine.failed_hosts),
+            })
+        return out
 
     def dynamic_session(self, session_id: str) -> "DynamicPlacement":
         """The engine behind ``session_id`` (:class:`UnknownSessionError`)."""
@@ -413,7 +506,14 @@ class PlacementService:
     def close_dynamic(self, session_id: str) -> None:
         """Drop a session (idempotent); cached results stay valid."""
         with self._lock:
+            known = session_id in self._sessions
+        # Only log closes of sessions that exist: replaying a close for
+        # an unknown id is harmless (pop is idempotent), but logging
+        # no-ops would bloat the WAL for misbehaving clients.
+        seq = self._log(SessionClose(session_id=session_id)) if known else None
+        with self._lock:
             self._sessions.pop(session_id, None)
+        self._note_applied(seq)
 
     def apply_events(
         self, session_id: str, events: Sequence["ChangeEvent"]
@@ -445,7 +545,27 @@ class PlacementService:
         UnknownSessionError
             If ``session_id`` names no open session.
         """
+        from ..dynamic import event_to_wire
+
         engine = self.dynamic_session(session_id)
+        # Log the *events*, not their side effects: cache invalidation
+        # and seeding are re-derived on replay through the same
+        # `_apply_events_core` path, so one record is one crash-atomic
+        # service operation.
+        seq = self._log(
+            SessionEvents(
+                session_id=session_id,
+                events=[event_to_wire(e) for e in events],
+            )
+        )
+        outcome = self._apply_events_core(engine, events)
+        self._note_applied(seq)
+        return outcome
+
+    def _apply_events_core(
+        self, engine: "DynamicPlacement", events: Sequence["ChangeEvent"]
+    ) -> "RepairOutcome":
+        """Fold events into ``engine`` + cache upkeep (shared with replay)."""
         old_fp = instance_fingerprint(engine.instance)
         outcome = engine.apply(events)
         new_fp = instance_fingerprint(engine.instance)
@@ -528,6 +648,219 @@ class PlacementService:
                 else:
                     del self._fp_index[inst_fp]
 
+    # -- durability (WAL + snapshot persistence) -----------------------
+    def _attach_store(self, store: StateStore) -> None:
+        """Recover persisted state from ``store`` and bind it for logging.
+
+        Runs the snapshot restore and record replay with ``_replaying``
+        set, so the mutations they trigger (cache puts, session
+        creation, invalidation/seeding from event replay) are *not*
+        logged again.  Only after a complete replay is the store bound —
+        a failed recovery leaves the service unusable rather than
+        half-recovered.
+        """
+        recovered = store.recover()
+        self._replaying = True
+        try:
+            if recovered.snapshot is not None:
+                self._restore_snapshot(recovered.snapshot)
+            for seq, record in recovered.records:
+                try:
+                    self._apply_record(record)
+                except RecoveryError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 — normalise replay
+                    raise RecoveryError(
+                        f"replay of record seq {seq} "
+                        f"({type(record).__name__}) failed — "
+                        f"{type(exc).__name__}: {exc}"
+                    ) from exc
+        finally:
+            self._replaying = False
+        self._store = store
+
+    def _log(self, record: LogRecord) -> Optional[int]:
+        """WAL-append one record; ``None`` when running in-memory.
+
+        Called *before* the mutation the record describes (log before
+        apply); pair with :meth:`_note_applied` afterwards.  Never call
+        while holding ``self._lock`` — snapshot capture re-enters it.
+        """
+        store = self._store
+        if store is None or self._replaying:
+            return None
+        return store.append(record)
+
+    def _note_applied(self, seq: Optional[int]) -> None:
+        """Advance the store's applied watermark (may auto-snapshot)."""
+        if seq is None:
+            return
+        store = self._store
+        if store is not None:
+            store.note_applied(seq, self._snapshot_state)
+
+    def persist_now(self) -> Optional[int]:
+        """Snapshot + compact immediately; the snapshot's seq, or ``None``.
+
+        The graceful-shutdown path (daemon signal handlers) calls this
+        so a restart replays a snapshot instead of the whole log.
+        """
+        store = self._store
+        if store is None:
+            return None
+        return store.snapshot_now(self._snapshot_state)
+
+    def _snapshot_state(self) -> dict:
+        """JSON-able capture of the durable state (sessions + cache)."""
+        with self._lock:
+            sessions = list(self._sessions.items())
+            session_seq = self._session_seq
+            key_to_fp = {
+                key: inst_fp
+                for inst_fp, keys in self._fp_index.items()
+                for key in keys
+            }
+        out_sessions = {}
+        for sid, engine in sessions:
+            instance, solver, failed = engine.checkpoint()
+            out_sessions[sid] = {
+                "instance": instance_to_dict(instance),
+                "solver": solver,
+                "failed": sorted(int(v) for v in failed),
+            }
+        cache = [
+            {
+                "key": key,
+                "instance_fp": key_to_fp.get(key, ""),
+                "response": resp.to_wire(),
+            }
+            for key, resp in self._cache.entries()
+        ]
+        return {
+            "schema": STATE_SCHEMA_VERSION,
+            "session_seq": session_seq,
+            "sessions": out_sessions,
+            "cache": cache,
+        }
+
+    def _restore_snapshot(self, state: dict) -> None:
+        """Rebuild sessions and cache from a :meth:`_snapshot_state` dict."""
+        from ..dynamic import DynamicPlacement
+
+        if not isinstance(state, dict) or state.get("schema") != STATE_SCHEMA_VERSION:
+            raise RecoveryError(
+                f"snapshot state schema {state.get('schema')!r} unsupported "
+                f"(this service speaks version {STATE_SCHEMA_VERSION})"
+            )
+        try:
+            self._session_seq = int(state.get("session_seq", 0))
+            for sid, body in dict(state.get("sessions", {})).items():
+                # strict=False: the engine re-solves from the restored
+                # snapshot; a currently-infeasible session comes back
+                # with no standing placement (exactly its live state)
+                # instead of failing recovery.
+                self._sessions[str(sid)] = DynamicPlacement(
+                    instance_from_dict(body["instance"]),
+                    solver=body.get("solver"),
+                    failed=frozenset(int(v) for v in body.get("failed", [])),
+                    strict=False,
+                )
+            for entry in list(state.get("cache", [])):
+                response = SolveResponse.from_wire(entry["response"])
+                self._cache.put(str(entry["key"]), response)
+                if entry.get("instance_fp"):
+                    self._index_key(str(entry["instance_fp"]), str(entry["key"]))
+        except RecoveryError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — normalise codec failures
+            raise RecoveryError(
+                f"snapshot state is malformed — {type(exc).__name__}: {exc}"
+            ) from exc
+
+    def _apply_record(self, record: LogRecord) -> None:
+        """Replay one WAL record through the live mutation paths."""
+        from ..dynamic import DynamicPlacement, event_from_wire
+
+        if isinstance(record, CachePut):
+            self._cache.put(record.key, SolveResponse.from_wire(record.response))
+            if record.instance_fp:
+                self._index_key(record.instance_fp, record.key)
+        elif isinstance(record, CacheRemove):
+            for key in record.keys:
+                self._cache.remove(key)
+        elif isinstance(record, SessionStart):
+            if record.session_id in self._sessions:
+                raise RecoveryError(
+                    f"duplicate SessionStart for {record.session_id!r}"
+                )
+            # strict default: the session was only logged after its
+            # initial solve succeeded, so the replayed solve must too.
+            self._sessions[record.session_id] = DynamicPlacement(
+                instance_from_dict(record.instance), solver=record.solver
+            )
+            self._session_seq = max(
+                self._session_seq, _session_ordinal(record.session_id)
+            )
+        elif isinstance(record, SessionEvents):
+            engine = self._sessions.get(record.session_id)
+            if engine is None:
+                raise RecoveryError(
+                    f"SessionEvents for unknown session {record.session_id!r}"
+                )
+            events = [event_from_wire(e) for e in record.events]
+            self._apply_events_core(engine, events)
+        elif isinstance(record, SessionClose):
+            self._sessions.pop(record.session_id, None)
+        else:  # pragma: no cover - decode_record rejects unknown kinds
+            raise RecoveryError(f"unknown record type {type(record).__name__}")
+
+    def state_fingerprint(self) -> str:
+        """Hex digest of the durable state — the kill-and-replay oracle.
+
+        Hashes the dynamic sessions (id, root fingerprint of instance +
+        failed hosts, requested solver, standing placement) and the
+        *semantic* content of the result cache — status, solver, cost,
+        bound, placement, error — excluding diagnostics, whose wall
+        times and memo-dependent selection notes legitimately differ
+        between a live run and its replay.  A recovered service with an
+        equal fingerprint answers every future request identically.
+        """
+        from ..dynamic import root_fingerprint
+
+        h = blake2b(digest_size=16)
+        with self._lock:
+            sessions = sorted(self._sessions.items(), key=lambda kv: kv[0])
+            session_seq = self._session_seq
+        h.update(str(session_seq).encode())
+        for sid, engine in sessions:
+            instance, solver, failed = engine.checkpoint()
+            placement = engine.placement
+            h.update(b"\x00session\x00")
+            h.update(sid.encode())
+            h.update(root_fingerprint(instance, failed).encode())
+            h.update((solver or "").encode())
+            h.update(
+                canonical_json(placement_to_dict(placement)).encode()
+                if placement is not None
+                else b"none"
+            )
+        for key, resp in sorted(self._cache.entries(), key=lambda kv: kv[0]):
+            h.update(b"\x00cache\x00")
+            h.update(key.encode())
+            h.update(canonical_json({
+                "status": resp.status,
+                "solver": resp.solver,
+                "n_replicas": resp.n_replicas,
+                "lower_bound": resp.lower_bound,
+                "placement": (
+                    placement_to_dict(resp.placement)
+                    if resp.placement is not None
+                    else None
+                ),
+                "error": resp.error.to_wire() if resp.error is not None else None,
+            }).encode())
+        return h.hexdigest()
+
     # -- stats ---------------------------------------------------------
     def _ensure_pool(self) -> ThreadPoolExecutor:
         with self._lock:
@@ -549,12 +882,13 @@ class PlacementService:
                 del self._latencies_ms[: -self._LATENCY_WINDOW]
 
     def stats(self) -> ServiceStats:
-        """Snapshot of request, cache and latency counters."""
+        """Snapshot of request, cache, latency and durability counters."""
         with self._lock:
             lat = sorted(self._latencies_ms)
             by_status = dict(self._by_status)
             requests = self._requests
             uptime = time.monotonic() - self._started
+            store = self._store
         return ServiceStats(
             requests=requests,
             by_status=by_status,
@@ -564,4 +898,5 @@ class PlacementService:
             latency_ms_p95=_percentile(lat, 0.95) if lat else 0.0,
             latency_ms_max=lat[-1] if lat else 0.0,
             uptime_s=uptime,
+            durability=store.status() if store is not None else None,
         )

@@ -1,0 +1,105 @@
+"""Low-level durable-filesystem helpers shared by the storage layer.
+
+Three primitives, each encapsulating one crash-safety idiom:
+
+* :func:`fsync_dir` — flush a *directory* entry so a just-created or
+  just-renamed file survives a power cut (on POSIX, creating a file is
+  durable only once its parent directory is synced);
+* :func:`atomic_write_bytes` — write-to-temp + ``fsync`` + atomic
+  :func:`os.replace`, so readers only ever observe the old bytes or the
+  complete new bytes, never a half-written file;
+* :func:`durable_append_line` — append one newline-terminated text row
+  with flush + ``fsync``, *repairing* a torn tail first: if a previous
+  crash left the file ending mid-row (no trailing newline), the partial
+  row is terminated so it can be skipped by line-oriented readers
+  instead of silently merging with the next append.
+
+The write-ahead log (:mod:`repro.storage.wal`), snapshot files
+(:mod:`repro.storage.snapshot`) and the sweep runner's JSON-lines
+:class:`~repro.runner.store.ResultStore` are all built on these.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["fsync_dir", "atomic_write_bytes", "durable_append_line"]
+
+
+def fsync_dir(path: str) -> None:
+    """``fsync`` the directory at ``path`` (best effort off-POSIX).
+
+    Needed after creating, renaming or deleting files inside it: the
+    file's own ``fsync`` makes the *content* durable, the directory's
+    makes the *name* durable.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. Windows disallows dir opens
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystem without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str, data: bytes, *, fsync: bool = True) -> None:
+    """Atomically replace ``path`` with ``data``.
+
+    The bytes go to a temporary sibling first (same directory, so the
+    final :func:`os.replace` stays within one filesystem and is atomic),
+    are fsynced, and only then renamed over the destination.  A crash at
+    any point leaves either the old complete file or the new complete
+    file — never a torn mixture.
+    """
+    parent = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(parent, exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    fh = open(tmp, "wb")
+    try:
+        fh.write(data)
+        fh.flush()
+        if fsync:
+            os.fsync(fh.fileno())
+    finally:
+        fh.close()
+    try:
+        os.replace(tmp, path)
+    except OSError:
+        # Leave no temp litter behind a failed rename.
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        fsync_dir(parent)
+
+
+def durable_append_line(path: str, text: str, *, fsync: bool = True) -> None:
+    """Durably append one line (``text`` must not contain newlines).
+
+    Opens in ``a+b`` so the tail can be inspected: when the last byte is
+    not a newline — the signature of an append torn by a crash — a
+    terminator is written first, confining the damage to that one
+    unparseable row.  The new row is then appended, flushed and fsynced,
+    so once this function returns the row survives a crash.
+    """
+    parent = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(parent, exist_ok=True)
+    created = not os.path.exists(path)
+    with open(path, "a+b") as fh:
+        fh.seek(0, os.SEEK_END)
+        if fh.tell() > 0:
+            fh.seek(-1, os.SEEK_END)
+            if fh.read(1) != b"\n":
+                # Terminate the torn row a previous crash left behind.
+                fh.write(b"\n")
+        fh.write(text.encode("utf-8") + b"\n")
+        fh.flush()
+        if fsync:
+            os.fsync(fh.fileno())
+    if created and fsync:
+        fsync_dir(parent)

@@ -1,0 +1,246 @@
+"""Process-level durability: `repro serve --data-dir` survives kill -9.
+
+These tests run the daemon as a real subprocess — the same shape as the
+CI ``persistence`` smoke job — so the whole stack is exercised: CLI
+argument plumbing, socket bind, WAL writes from worker threads, SIGKILL
+with no chance to flush, and recovery replay on the next start.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.instances import random_tree
+from repro.instances.io import instance_to_dict
+from repro.service import SolveRequest, SolveResponse
+from repro.storage import list_snapshots
+
+_REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+INSTANCE = random_tree(4, 8, capacity=8, dmax=5.0, seed=17)
+OTHER = random_tree(3, 6, capacity=9, dmax=4.0, seed=29)
+
+
+def _get(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return json.loads(resp.read())
+
+
+def _post(url: str, payload: dict) -> dict:
+    req = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return json.loads(resp.read())
+
+
+class _Daemon:
+    """A `repro serve` subprocess bound to an ephemeral port."""
+
+    def __init__(self, data_dir: str, snapshot_interval: int = 64):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(_REPO, "src")
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-c",
+                "import sys; from repro.cli import main; "
+                "sys.exit(main(sys.argv[1:]))",
+                "serve", "--port", "0", "--data-dir", data_dir,
+                "--snapshot-interval", str(snapshot_interval),
+            ],
+            env=env,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        self.stderr_lines: list[str] = []
+        self.base_url = self._await_listening()
+        # Drain the rest of stderr in the background so the pipe never
+        # fills up and blocks the daemon.
+        self._drain = threading.Thread(target=self._pump, daemon=True)
+        self._drain.start()
+
+    def _await_listening(self) -> str:
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            line = self.proc.stderr.readline()
+            if not line:
+                raise AssertionError(
+                    "serve exited before listening: "
+                    + "".join(self.stderr_lines)
+                )
+            self.stderr_lines.append(line)
+            match = re.search(r"listening on (http://[\d.]+:\d+)", line)
+            if match:
+                return match.group(1)
+        raise AssertionError("serve never reported a listening address")
+
+    def _pump(self) -> None:
+        for line in self.proc.stderr:
+            self.stderr_lines.append(line)
+
+    def kill9(self) -> None:
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait(timeout=30)
+
+    def sigterm(self) -> int:
+        self.proc.send_signal(signal.SIGTERM)
+        return self.proc.wait(timeout=30)
+
+    def cleanup(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=30)
+
+
+@pytest.fixture
+def data_dir(tmp_path):
+    return str(tmp_path / "state")
+
+
+class TestKillDashNine:
+    def test_sessions_and_cache_survive_sigkill(self, data_dir):
+        daemon = _Daemon(data_dir)
+        try:
+            solved = _post(
+                daemon.base_url + "/v1/solve",
+                SolveRequest(instance=INSTANCE).to_wire(),
+            )
+            assert SolveResponse.from_wire(solved).ok
+
+            started = _post(
+                daemon.base_url + "/v1/dynamic/start",
+                {"schema": 1, "instance": instance_to_dict(OTHER)},
+            )
+            sid = started["session_id"]
+            applied = _post(
+                daemon.base_url + "/v1/dynamic/apply",
+                {
+                    "schema": 1,
+                    "session_id": sid,
+                    "events": [{"kind": "capacity", "capacity": 12}],
+                },
+            )
+            assert applied["ok"]
+            live_fp = applied["fingerprint"]
+            daemon.kill9()
+        finally:
+            daemon.cleanup()
+
+        # Restart over the same directory: everything must be back.
+        daemon = _Daemon(data_dir)
+        try:
+            sessions = _get(daemon.base_url + "/v1/dynamic")["sessions"]
+            assert [s["session_id"] for s in sessions] == [sid]
+            assert sessions[0]["fingerprint"] == live_fp
+
+            hit = SolveResponse.from_wire(
+                _post(
+                    daemon.base_url + "/v1/solve",
+                    SolveRequest(instance=INSTANCE).to_wire(),
+                )
+            )
+            assert hit.diagnostics.cache_hit
+
+            # The recovered session keeps accepting events.
+            more = _post(
+                daemon.base_url + "/v1/dynamic/apply",
+                {
+                    "schema": 1,
+                    "session_id": sid,
+                    "events": [{"kind": "capacity", "capacity": 14}],
+                },
+            )
+            assert more["ok"]
+
+            health = _get(daemon.base_url + "/v1/healthz")
+            durability = health["stats"]["durability"]
+            assert durability["data_dir"] == data_dir
+            assert durability["records_replayed"] >= 3
+        finally:
+            daemon.cleanup()
+
+
+class TestGracefulShutdown:
+    def test_sigterm_snapshots_before_exit(self, data_dir):
+        daemon = _Daemon(data_dir)
+        try:
+            _post(
+                daemon.base_url + "/v1/solve",
+                SolveRequest(instance=INSTANCE).to_wire(),
+            )
+            started = _post(
+                daemon.base_url + "/v1/dynamic/start",
+                {"schema": 1, "instance": instance_to_dict(OTHER)},
+            )
+            assert daemon.sigterm() == 0
+        finally:
+            daemon.cleanup()
+        stderr = "".join(daemon.stderr_lines)
+        assert "SIGTERM received" in stderr
+        assert "state snapshotted at seq 2" in stderr
+        # The snapshot is on disk at the final sequence number …
+        assert [seq for seq, _ in list_snapshots(data_dir)] == [2]
+
+        # … so the next start replays nothing.
+        daemon = _Daemon(data_dir)
+        try:
+            health = _get(daemon.base_url + "/v1/healthz")
+            durability = health["stats"]["durability"]
+            assert durability["records_replayed"] == 0
+            assert durability["last_seq"] == 2
+            sessions = _get(daemon.base_url + "/v1/dynamic")["sessions"]
+            assert [s["session_id"] for s in sessions] == [
+                started["session_id"]
+            ]
+        finally:
+            daemon.cleanup()
+
+
+class TestRecoverCli:
+    def test_recover_inspects_a_killed_data_dir(self, data_dir, capsys):
+        daemon = _Daemon(data_dir)
+        try:
+            _post(
+                daemon.base_url + "/v1/solve",
+                SolveRequest(instance=INSTANCE).to_wire(),
+            )
+            _post(
+                daemon.base_url + "/v1/dynamic/start",
+                {"schema": 1, "instance": instance_to_dict(OTHER)},
+            )
+            daemon.kill9()
+        finally:
+            daemon.cleanup()
+
+        from repro.cli import main
+
+        assert main(["recover", "--data-dir", data_dir, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["durability"]["last_seq"] == 2
+        assert report["record_kinds"] == {
+            "cache-put": 1, "session-start": 1,
+        }
+        assert len(report["sessions"]) == 1
+        fingerprint = report["state_fingerprint"]
+
+        # --compact rewrites the dir into snapshot-only form; the state
+        # it recovers to must be bit-identical.
+        assert main(["recover", "--data-dir", data_dir, "--compact"]) == 0
+        capsys.readouterr()
+        assert [seq for seq, _ in list_snapshots(data_dir)] == [2]
+        assert main(["recover", "--data-dir", data_dir, "--json"]) == 0
+        compacted = json.loads(capsys.readouterr().out)
+        assert compacted["state_fingerprint"] == fingerprint
+        assert compacted["durability"]["records_replayed"] == 0

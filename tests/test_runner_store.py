@@ -79,6 +79,26 @@ class TestResumeSemantics:
             fh.write('{"solver": "local", "instance": "half')  # simulated crash
         assert len(store.load()) == 1
 
+    def test_append_after_truncated_tail_confines_damage(self, tmp_path):
+        """Regression: appending after a torn row must not merge with it.
+
+        Before the store used
+        :func:`repro.storage.fsutil.durable_append_line`, the first
+        append after a crash concatenated onto the torn fragment,
+        corrupting *both* rows; now the fragment is newline-terminated
+        first and only it is lost.
+        """
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(str(path))
+        store.append(_result())
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"solver": "local", "instance": "half')  # no newline
+        store.append(_result(instance="inst-b"))  # the post-restart append
+        assert [r.instance for r in store.load()] == ["inst-a", "inst-b"]
+        # The torn fragment sits alone on its own line, skipped as
+        # malformed JSON by the reader.
+        assert len(path.read_text().splitlines()) == 3
+
     def test_missing_file_is_empty(self, tmp_path):
         store = ResultStore(str(tmp_path / "nope.jsonl"))
         assert store.load() == []

@@ -1,0 +1,99 @@
+"""Snapshot files: atomic write, newest-wins discovery, damage detection."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.storage import (
+    RecoveryError,
+    list_snapshots,
+    load_latest_snapshot,
+    snapshot_path,
+    write_snapshot,
+)
+from repro.storage.snapshot import clean_temp_files
+
+
+class TestWriteAndLoad:
+    def test_round_trip(self, tmp_path):
+        d = str(tmp_path)
+        state = {"sessions": {}, "cache": [], "session_seq": 7}
+        write_snapshot(d, 42, state)
+        assert load_latest_snapshot(d) == (42, state)
+
+    def test_no_snapshot_returns_none(self, tmp_path):
+        assert load_latest_snapshot(str(tmp_path)) is None
+        assert load_latest_snapshot(str(tmp_path / "missing")) is None
+
+    def test_newest_wins_and_older_pruned(self, tmp_path):
+        d = str(tmp_path)
+        write_snapshot(d, 5, {"v": "old"})
+        write_snapshot(d, 9, {"v": "new"})
+        assert load_latest_snapshot(d) == (9, {"v": "new"})
+        # The older file is gone: a successful write prunes the past.
+        assert [seq for seq, _ in list_snapshots(d)] == [9]
+
+    def test_survivor_from_crashed_prune_is_ignored(self, tmp_path):
+        d = str(tmp_path)
+        write_snapshot(d, 9, {"v": "new"})
+        # Simulate the residue of a crash between write and prune: an
+        # older snapshot still on disk.
+        with open(snapshot_path(d, 5), "w", encoding="utf-8") as fh:
+            json.dump({"schema": 1, "seq": 5, "state": {"v": "old"}}, fh)
+        assert load_latest_snapshot(d) == (9, {"v": "new"})
+
+    def test_filenames_sort_numerically(self, tmp_path):
+        d = str(tmp_path)
+        write_snapshot(d, 2, {"v": 1})
+        # seq 10 would sort before seq 2 lexicographically without the
+        # zero padding in the name.
+        with open(snapshot_path(d, 10), "w", encoding="utf-8") as fh:
+            json.dump({"schema": 1, "seq": 10, "state": {"v": 2}}, fh)
+        assert load_latest_snapshot(d) == (10, {"v": 2})
+
+
+class TestDamage:
+    """A damaged newest snapshot fails typed — never a silent fallback."""
+
+    def test_unparseable_newest_raises(self, tmp_path):
+        d = str(tmp_path)
+        write_snapshot(d, 1, {"v": "good"})
+        with open(snapshot_path(d, 2), "w", encoding="utf-8") as fh:
+            fh.write('{"schema": 1, "seq": 2, "state": {trunc')
+        with pytest.raises(RecoveryError, match="unreadable snapshot"):
+            load_latest_snapshot(d)
+
+    def test_wrong_schema_raises(self, tmp_path):
+        d = str(tmp_path)
+        with open(snapshot_path(d, 1), "w", encoding="utf-8") as fh:
+            json.dump({"schema": 99, "seq": 1, "state": {}}, fh)
+        with pytest.raises(RecoveryError, match="unsupported snapshot schema"):
+            load_latest_snapshot(d)
+
+    def test_seq_filename_mismatch_raises(self, tmp_path):
+        d = str(tmp_path)
+        with open(snapshot_path(d, 3), "w", encoding="utf-8") as fh:
+            json.dump({"schema": 1, "seq": 7, "state": {}}, fh)
+        with pytest.raises(RecoveryError, match="disagrees with filename"):
+            load_latest_snapshot(d)
+
+    def test_non_object_state_raises(self, tmp_path):
+        d = str(tmp_path)
+        with open(snapshot_path(d, 1), "w", encoding="utf-8") as fh:
+            json.dump({"schema": 1, "seq": 1, "state": [1, 2]}, fh)
+        with pytest.raises(RecoveryError, match="not an object"):
+            load_latest_snapshot(d)
+
+
+class TestTempHygiene:
+    def test_clean_temp_files(self, tmp_path):
+        d = str(tmp_path)
+        write_snapshot(d, 1, {"v": 1})
+        stranded = os.path.join(d, "snapshot-0000000000000002.json.tmp.999")
+        open(stranded, "w").close()
+        assert clean_temp_files(d) == 1
+        assert not os.path.exists(stranded)
+        assert load_latest_snapshot(d) == (1, {"v": 1})
