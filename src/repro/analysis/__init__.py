@@ -10,6 +10,7 @@ from .bench import (
     snapshot_problems,
     write_snapshot,
 )
+from .cluster import cluster_report, render_worker_health
 from .complexity import ScalingPoint, ScalingResult, fit_power_law, measure_scaling
 from .experiments import (
     ExperimentRow,
@@ -62,6 +63,8 @@ __all__ = [
     "sweep_report",
     "stress_report",
     "render_stress_table",
+    "cluster_report",
+    "render_worker_health",
     "service_report",
     "online_report",
     "render_online_table",

@@ -13,6 +13,8 @@ Subcommands::
     repro stress --quick
     repro serve --port 8350 --data-dir state/
     repro recover --data-dir state/
+    repro cluster --workers 3 --data-root state/
+    repro loadtest --url http://127.0.0.1:8360 --requests 200
 
 ``solve`` writes the placement JSON to stdout (or ``--out``) and prints
 a summary to stderr, so pipelines can chain ``solve | check``.
@@ -28,7 +30,12 @@ registered solver over the adversarial scenario grid, gated on
 solver-independent invariants (:mod:`repro.scenarios`).  ``serve
 --data-dir`` makes the daemon durable (WAL + snapshots,
 :mod:`repro.storage`); ``recover`` inspects and replays such a data
-directory offline without binding a socket.
+directory offline without binding a socket.  ``cluster`` shards the
+service across N worker daemons behind a consistent-hash router with
+health-aware failover (:mod:`repro.cluster`); ``loadtest`` drives a
+deterministic seeded request mix at a cluster (or single daemon) and
+reports latency percentiles, error rate and per-worker cache-hit
+throughput.
 
 Every verb's ``--help`` epilog names the ``docs/`` page covering it;
 ``repro --version`` reports the installed package version.
@@ -691,6 +698,116 @@ def _cmd_recover(args: argparse.Namespace) -> int:
         service.close()
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from .cluster import run_cluster
+    from .storage import RecoveryError
+
+    worker_urls = None
+    if args.attach:
+        worker_urls = {
+            f"worker-{i}": url.rstrip("/")
+            for i, url in enumerate(args.attach)
+        }
+    elif args.data_root is None:
+        raise _CliError(
+            "--data-root is required unless --attach lists worker URLs"
+        )
+    try:
+        return run_cluster(
+            args.host,
+            args.port,
+            n_workers=args.workers,
+            data_root=args.data_root,
+            worker_urls=worker_urls,
+            vnodes=args.vnodes,
+            probe_interval=args.probe_interval,
+            down_after=args.down_after,
+            snapshot_interval=args.snapshot_interval,
+            verbose=args.verbose,
+        )
+    except RecoveryError as exc:
+        raise _CliError(
+            f"cannot recover worker state under {args.data_root}: {exc}"
+        ) from None
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .analysis import cluster_report
+    from .cluster import run_loadtest
+
+    n_requests = args.requests
+    mix = args.mix
+    if args.quick:
+        n_requests = min(n_requests, 40)
+        mix = "quick"
+
+    manager = None
+    server = None
+    tmp = None
+    url = args.url
+    try:
+        if url is None:
+            # No target given: stand up a throwaway local cluster, drive
+            # it, and tear it down — the zero-setup benchmarking path.
+            import tempfile
+            import threading
+
+            from .cluster import ClusterManager, make_router
+
+            tmp = tempfile.TemporaryDirectory(prefix="repro-loadtest-")
+            manager = ClusterManager(args.workers, tmp.name)
+            server = make_router(
+                "127.0.0.1",
+                0,
+                workers=manager.urls(),
+                data_dirs=manager.data_dirs(),
+            )
+            threading.Thread(
+                target=server.serve_forever,
+                name="repro-loadtest-router",
+                daemon=True,
+            ).start()
+            server.start_prober()
+            host, port = server.server_address[:2]
+            url = f"http://{host}:{port}"
+            print(
+                f"loadtest: transient cluster of {args.workers} worker(s) "
+                f"behind {url}",
+                file=sys.stderr,
+            )
+        report = run_loadtest(
+            url,
+            n_requests=n_requests,
+            concurrency=args.concurrency,
+            seed=args.seed,
+            mix=mix,
+        )
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if manager is not None:
+            manager.stop_all(graceful=False)
+        if tmp is not None:
+            tmp.cleanup()
+
+    text = cluster_report(report)
+    if args.json:
+        data = _json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(data)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(data + "\n")
+            print(f"wrote {args.json}", file=sys.stderr)
+            print(text)
+    else:
+        print(text)
+    return 0 if report.failed == 0 else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis import full_report
 
@@ -965,6 +1082,65 @@ def build_parser() -> argparse.ArgumentParser:
                      help="after a clean replay, write a fresh snapshot and "
                           "compact the write-ahead log")
     rec.set_defaults(func=_cmd_recover)
+
+    cl = sub.add_parser(
+        "cluster",
+        help="run a consistent-hash router over N placement workers",
+        epilog=_docs("cluster"),
+    )
+    cl.add_argument("--host", default="127.0.0.1")
+    cl.add_argument("--port", type=int, default=8360,
+                    help="router TCP port (0 binds an ephemeral port)")
+    cl.add_argument("--workers", type=_positive_int, default=3,
+                    help="number of managed worker daemons to spawn")
+    cl.add_argument("--data-root", default=None,
+                    help="directory holding one durable data-dir per worker "
+                         "(worker-0/, worker-1/, ...); required unless "
+                         "--attach is given")
+    cl.add_argument("--attach", nargs="+", metavar="URL", default=None,
+                    help="route across already-running repro serve daemons "
+                         "instead of spawning a managed fleet")
+    cl.add_argument("--vnodes", type=_positive_int, default=16,
+                    help="virtual nodes per worker on the hash ring")
+    cl.add_argument("--probe-interval", type=float, default=1.0,
+                    help="seconds between health probes of each worker")
+    cl.add_argument("--down-after", type=_positive_int, default=2,
+                    help="consecutive probe failures before a worker is "
+                         "ejected from the ring")
+    cl.add_argument("--snapshot-interval", type=int, default=64,
+                    help="per-worker auto-snapshot interval (records)")
+    cl.add_argument("--verbose", action="store_true",
+                    help="log one line per routed request to stderr")
+    cl.set_defaults(func=_cmd_cluster)
+
+    lt = sub.add_parser(
+        "loadtest",
+        help="drive a deterministic seeded request mix at a cluster",
+        epilog=_docs("cluster"),
+    )
+    lt.add_argument("--url", default=None,
+                    help="router (or single daemon) base URL; omitted = "
+                         "spawn a transient local cluster, drive it, and "
+                         "tear it down")
+    lt.add_argument("--workers", type=_positive_int, default=3,
+                    help="fleet size for the transient cluster "
+                         "(ignored with --url)")
+    lt.add_argument("--requests", type=_positive_int, default=200,
+                    help="total requests to issue")
+    lt.add_argument("--concurrency", type=_positive_int, default=8,
+                    help="client thread-pool size")
+    lt.add_argument("--seed", type=int, default=0,
+                    help="request-mix seed (same seed + mix = same "
+                         "fingerprint sequence)")
+    lt.add_argument("--mix", choices=["default", "scenario", "quick"],
+                    default="default",
+                    help="which instance pool the mix draws from")
+    lt.add_argument("--quick", action="store_true",
+                    help="shorthand for a fast smoke pass: at most 40 "
+                         "requests from the quick mix")
+    lt.add_argument("--json", default=None, metavar="PATH",
+                    help="also write the report as JSON ('-' for stdout)")
+    lt.set_defaults(func=_cmd_loadtest)
 
     rep = sub.add_parser(
         "report",

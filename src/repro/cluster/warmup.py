@@ -1,0 +1,150 @@
+"""Result-cache warm-up over the durable WAL/snapshot state.
+
+When a worker (re)joins the ring, the keys it now owns were — while it
+was away — served and cached by its ring successors, whose caches are
+durable (:mod:`repro.storage`).  Rather than letting those keys restart
+cold, the router reads the *other* workers' data directories offline
+(snapshot + WAL tail, the exact recovery fold a restarting daemon
+performs, minus the session replay) and pushes the cache entries the
+new ring assigns to the joining worker through its
+``POST /v1/cache/warm`` endpoint.
+
+Reading a live worker's data-dir is safe: snapshots are written
+atomically (tmp + rename) and the WAL is append-only, so a concurrent
+reader sees a consistent prefix at worst — and a torn final frame is
+skipped exactly as crash recovery would skip it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import urllib.request
+from typing import Dict, Iterable, List, Optional
+
+from ..service.schema import WIRE_SCHEMA_VERSION
+from ..storage import (
+    CachePut,
+    CacheRemove,
+    RecoveryError,
+    decode_record,
+    load_latest_snapshot,
+    scan_wal,
+)
+from ..storage.store import WAL_FILENAME
+from .ring import HashRing
+
+__all__ = ["collect_cache_entries", "plan_warmup", "warm_worker"]
+
+
+def collect_cache_entries(data_dir: str) -> List[dict]:
+    """The durable result-cache entries of one worker's data directory.
+
+    Folds ``newest snapshot -> WAL tail`` exactly as service recovery
+    does, but only for the cache records (sessions are worker-private
+    and never migrate).  Returns ``{"key", "instance_fp", "response"}``
+    wire dicts — the ``/v1/cache/warm`` request shape.  A missing or
+    structurally damaged directory yields no entries rather than an
+    error: warm-up is an optimisation, never a correctness dependency.
+    """
+    entries: Dict[str, dict] = {}
+    snap_seq = 0
+    try:
+        snap = load_latest_snapshot(data_dir)
+        if snap is not None:
+            snap_seq, state = snap
+            inner = state if isinstance(state, dict) else {}
+            for item in list(inner.get("cache", [])):
+                entries[str(item["key"])] = {
+                    "key": str(item["key"]),
+                    "instance_fp": str(item.get("instance_fp", "")),
+                    "response": item["response"],
+                }
+        scan = scan_wal(os.path.join(data_dir, WAL_FILENAME))
+        for seq, payload in scan.records:
+            if seq <= snap_seq:
+                continue
+            record = decode_record(payload)
+            if isinstance(record, CachePut):
+                entries[record.key] = {
+                    "key": record.key,
+                    "instance_fp": record.instance_fp,
+                    "response": record.response,
+                }
+            elif isinstance(record, CacheRemove):
+                for key in record.keys:
+                    entries.pop(key, None)
+    except (RecoveryError, OSError, KeyError, TypeError, ValueError):
+        return []
+    return list(entries.values())
+
+
+def plan_warmup(
+    node_id: str,
+    ring: HashRing,
+    data_dirs: Dict[str, str],
+) -> List[dict]:
+    """Entries other workers hold that ``ring`` now routes to ``node_id``.
+
+    Scans every data directory *except* the target's own (a restarted
+    worker recovers its own entries during boot) and keeps the entries
+    whose instance fingerprint the current ring assigns to ``node_id``.
+    Entries without an instance fingerprint cannot be routed and are
+    skipped.
+    """
+    planned: Dict[str, dict] = {}
+    for owner, data_dir in sorted(data_dirs.items()):
+        if owner == node_id:
+            continue
+        for entry in collect_cache_entries(data_dir):
+            fp = entry.get("instance_fp")
+            if not fp:
+                continue
+            if node_id in ring and ring.route(fp) == node_id:
+                planned[entry["key"]] = entry
+    return list(planned.values())
+
+
+def warm_worker(
+    base_url: str,
+    entries: Iterable[dict],
+    *,
+    timeout: float = 30.0,
+    batch_size: int = 64,
+) -> int:
+    """POST ``entries`` to a worker's ``/v1/cache/warm``; warmed count.
+
+    Batched so a large accumulated cache never produces one giant
+    request body.  Transport failures abort the remaining batches and
+    return what was warmed so far — the worker simply stays (partially)
+    cold, which is always correct.
+    """
+    batch: List[dict] = []
+    warmed = 0
+
+    def _flush(chunk: List[dict]) -> Optional[int]:
+        body = json.dumps(
+            {"schema": WIRE_SCHEMA_VERSION, "entries": chunk}
+        ).encode("utf-8")
+        req = urllib.request.Request(
+            base_url + "/v1/cache/warm",
+            data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return int(json.loads(resp.read()).get("warmed", 0))
+
+    for entry in entries:
+        batch.append(entry)
+        if len(batch) >= batch_size:
+            try:
+                warmed += _flush(batch) or 0
+            except Exception:  # noqa: BLE001 - warm-up is best-effort
+                return warmed
+            batch = []
+    if batch:
+        try:
+            warmed += _flush(batch) or 0
+        except Exception:  # noqa: BLE001 - warm-up is best-effort
+            return warmed
+    return warmed

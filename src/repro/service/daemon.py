@@ -35,6 +35,10 @@ Endpoints
     Body: ``{"schema": 1, "session_id": str}``.  Drops the session.
 ``GET /v1/dynamic``
     Lists open sessions with solver, cost and failed hosts.
+``POST /v1/cache/warm``
+    Body: ``{"schema": 1, "entries": [{"key", "instance_fp",
+    "response"}, ...]}``.  Bulk-seeds the result cache — the cluster
+    router's rejoin warm-up path (:mod:`repro.cluster.warmup`).
 
 Anything else is a JSON 404.  Errors outside solver code map to the
 ``{"error": {"code", "message"}}`` shape clients already parse.
@@ -192,6 +196,7 @@ class _Handler(BaseHTTPRequestHandler):
             "/v1/dynamic/start": self._post_dynamic_start,
             "/v1/dynamic/apply": self._post_dynamic_apply,
             "/v1/dynamic/close": self._post_dynamic_close,
+            "/v1/cache/warm": self._post_cache_warm,
         }
         route = routes.get(self.path)
         if route is None:
@@ -337,6 +342,41 @@ class _Handler(BaseHTTPRequestHandler):
                 "fallback_reason": outcome.fallback_reason,
                 "error": outcome.error,
                 "fingerprint": outcome.fingerprint,
+            },
+        )
+
+    def _post_cache_warm(self, payload: object) -> None:
+        """Cluster warm-up: seed this worker's result cache in bulk.
+
+        Body: ``{"schema": 1, "entries": [{"key", "instance_fp",
+        "response"}, ...]}`` — the shape
+        :func:`repro.cluster.warmup.collect_cache_entries` produces.
+        Answers ``{"warmed", "skipped"}``; malformed entries are a 400.
+        """
+        payload = self._check_envelope(payload)
+        if payload is None:
+            return
+        entries = payload.get("entries")
+        if not isinstance(entries, list):
+            self._send_error_json(
+                400, ErrorCode.BAD_REQUEST, "'entries' must be a list"
+            )
+            return
+        try:
+            warmed, skipped = self.server.service.warm_cache(entries)
+        except (WireFormatError, KeyError, TypeError, ValueError) as exc:
+            self._send_error_json(
+                400,
+                ErrorCode.BAD_REQUEST,
+                f"bad cache entry — {type(exc).__name__}: {exc}",
+            )
+            return
+        self._send_json(
+            200,
+            {
+                "schema": WIRE_SCHEMA_VERSION,
+                "warmed": warmed,
+                "skipped": skipped,
             },
         )
 

@@ -1,0 +1,215 @@
+"""Fault injection: real subprocess workers, real ``kill -9``.
+
+The contract under test (the tentpole acceptance criterion): a SIGKILL
+of any single worker *while a concurrent loadtest is in flight* is
+invisible to clients — the router retries against ring successors, so
+the report ends with **zero failed requests** — and the killed worker
+restarted over its own ``--data-dir`` comes back with its result cache
+recovered from the WAL/snapshot state it logged before dying.
+
+These tests spawn real ``repro serve`` child processes (via
+:class:`~repro.cluster.workers.ClusterManager`) and are therefore the
+slowest in the suite; everything timing-independent lives in
+``tests/test_cluster_router.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.cluster import (
+    HashRing,
+    collect_cache_entries,
+    make_router,
+    plan_warmup,
+    request_mix,
+    run_loadtest,
+    warm_worker,
+)
+from repro.cluster.workers import ClusterManager
+from repro.service import SolveRequest
+from repro.service.fingerprint import instance_fingerprint
+
+N_WORKERS = 3
+
+
+@pytest.fixture()
+def cluster(tmp_path):
+    """3 subprocess workers + an in-thread router over their data-dirs."""
+    manager = ClusterManager(
+        N_WORKERS, str(tmp_path / "state"), snapshot_interval=8
+    )
+    router = make_router(
+        "127.0.0.1",
+        0,
+        workers=manager.urls(),
+        data_dirs=manager.data_dirs(),
+        down_after=1,           # eject on the first failure: fast failover
+        backoff_base=0.01,
+        backoff_cap=0.05,
+        probe_interval=0.2,
+        probe_timeout=2.0,
+    )
+    thread = threading.Thread(target=router.serve_forever, daemon=True)
+    thread.start()
+    host, port = router.server_address[:2]
+    try:
+        yield manager, router, f"http://{host}:{port}"
+    finally:
+        router.shutdown()
+        router.server_close()
+        manager.stop_all(graceful=False)
+
+
+def _post(url: str, payload: dict) -> dict:
+    req = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return json.loads(resp.read())
+
+
+class TestKillDuringTraffic:
+    def test_kill9_mid_loadtest_loses_zero_requests(self, cluster):
+        manager, router, url = cluster
+        report_holder = {}
+
+        def _drive() -> None:
+            report_holder["report"] = run_loadtest(
+                url, n_requests=200, concurrency=8, seed=0, mix="quick"
+            )
+
+        driver = threading.Thread(target=_drive)
+        driver.start()
+        # Let traffic build, then SIGKILL the worker owning the hottest
+        # fingerprint — the worst-case victim for the cache.  A 200-
+        # request quick-mix run takes ~0.4 s against subprocess workers,
+        # so 0.1 s lands the kill squarely mid-stream.
+        time.sleep(0.1)
+        fps = [r.instance_fp for r in request_mix(0, 200, "quick")]
+        hottest = max(set(fps), key=fps.count)
+        victim = HashRing(manager.urls()).route(hottest)
+        manager.worker(victim).kill9()
+        driver.join(timeout=120)
+        assert not driver.is_alive(), "loadtest hung after kill -9"
+        report = report_holder["report"]
+        assert report.failed == 0, (
+            f"client saw {report.failed} failed requests after kill -9 of "
+            f"{victim}: {report.to_dict()}"
+        )
+        assert report.ok == 200
+        # Traffic really did reach more than the victim.
+        assert len(report.per_worker) >= 2
+
+    def test_restarted_worker_recovers_cache_from_data_dir(self, cluster):
+        manager, router, url = cluster
+        # Warm the cluster: every quick-mix instance solved and cached.
+        report = run_loadtest(
+            url, n_requests=40, concurrency=4, seed=0, mix="quick"
+        )
+        assert report.failed == 0
+        victim = "worker-1"
+        worker = manager.worker(victim)
+        # Give the worker a moment to finish logging, then SIGKILL —
+        # no flush, no snapshot.
+        time.sleep(0.2)
+        worker.kill9()
+        assert not worker.alive
+        worker.restart()
+        assert worker.alive
+        # Its durable cache survived: the data-dir offline fold sees the
+        # same entries a recovering daemon replays.
+        entries = collect_cache_entries(worker.data_dir)
+        victim_owned = [
+            e for e in entries
+            if HashRing(manager.urls()).route(e["instance_fp"]) == victim
+        ]
+        if any(
+            HashRing(manager.urls()).route(fp) == victim
+            for fp in {r.instance_fp for r in request_mix(0, 40, "quick")}
+        ):
+            assert victim_owned, "victim served traffic but kept no cache"
+        # And a solve against the restarted worker for a key it served
+        # before the kill is answered from cache, not recomputed.
+        for entry in victim_owned[:1]:
+            fp = entry["instance_fp"]
+            req = next(
+                r for r in request_mix(0, 40, "quick") if r.instance_fp == fp
+            )
+            answer = _post(worker.base_url + "/v1/solve", req.wire)
+            assert answer["status"] == "ok"
+            assert answer["diagnostics"]["cache_hit"] is True
+
+
+class TestRejoinWarmup:
+    def test_prober_rejoin_warms_from_other_workers(self, cluster):
+        manager, router, url = cluster
+        report = run_loadtest(
+            url, n_requests=60, concurrency=4, seed=0, mix="quick"
+        )
+        assert report.failed == 0
+        victim = "worker-2"
+        view = next(
+            w for w in router.state.all_workers() if w.node_id == victim
+        )
+        worker = manager.worker(victim)
+        worker.kill9()
+        router.prober.probe(view)       # detect the death -> eject
+        assert not view.alive
+        # While the victim is gone its keys were served — and cached —
+        # by the survivors.
+        inst = request_mix(0, 60, "quick")[0]
+        again = _post(url + "/v1/solve", inst.wire)
+        assert again["status"] == "ok"
+        worker.restart()
+        router.prober.probe(view)       # detect the rebirth -> rejoin
+        assert view.alive
+        # Rejoin triggered the warm-up plan: entries other workers hold
+        # for keys the ring routes back to the victim were pushed.
+        ring = HashRing(manager.urls())
+        planned = plan_warmup(victim, ring, manager.data_dirs())
+        for entry in planned:
+            assert ring.route(entry["instance_fp"]) == victim
+
+    def test_warm_worker_pushes_planned_entries(self, cluster):
+        manager, router, url = cluster
+        report = run_loadtest(
+            url, n_requests=60, concurrency=4, seed=3, mix="quick"
+        )
+        assert report.failed == 0
+        # Plan a warm-up for worker-0 from the *other* workers' state
+        # and push it; the worker acknowledges idempotently.
+        ring = HashRing(manager.urls())
+        target = "worker-0"
+        entries = plan_warmup(target, ring, manager.data_dirs())
+        pushed = warm_worker(manager.worker(target).base_url, entries)
+        assert pushed == warm_worker(
+            manager.worker(target).base_url, entries
+        ) + pushed  # second push warms nothing new (all already present)
+
+
+class TestDurableRouting:
+    def test_fingerprint_routing_survives_worker_restart(self, cluster):
+        manager, router, url = cluster
+        from repro.instances import random_tree
+
+        inst = random_tree(6, 12, capacity=15, dmax=5.0, seed=5)
+        fp = instance_fingerprint(inst)
+        owner = HashRing(manager.urls()).route(fp)
+        wire = SolveRequest(instance=inst).to_wire()
+        first = _post(url + "/v1/solve", wire)
+        assert first["status"] == "ok"
+        # Restart the owner (same port, same data-dir): the second solve
+        # routes to the same worker and hits its recovered cache.
+        manager.worker(owner).restart()
+        second = _post(url + "/v1/solve", wire)
+        assert second["status"] == "ok"
+        assert second["diagnostics"]["cache_hit"] is True
+        assert second["placement"] == first["placement"]
