@@ -22,7 +22,9 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..core.arrays import flat_tree
 from ..core.instance import ProblemInstance
+from ..core.tree import NO_PARENT, Tree
 from ..flow import FlowNetwork, max_flow
 
 __all__ = ["multiple_assignment", "single_assignment", "eligible_map"]
@@ -34,15 +36,35 @@ def eligible_map(
     """For each demanding client, its eligible servers within ``R``.
 
     Returns ``None`` if some client has no eligible server at all (then
-    no assignment can exist under either policy).
+    no assignment can exist under either policy).  The walk inlines
+    :meth:`Tree.eligible_servers` on the parent/delta arrays — same
+    client-upward order and the same distance accumulation, without the
+    per-client pair-list allocation.
     """
     tree = instance.tree
     rset = set(replicas)
+    dmax = instance.dmax
+    parents = tree._parents
+    deltas = tree._deltas
+    requests = tree._requests
     out: Dict[int, List[int]] = {}
     for c in tree.clients:
-        if tree.requests(c) == 0:
+        if requests[c] == 0:
             continue
-        elig = [s for (s, _d) in tree.eligible_servers(c, instance.dmax) if s in rset]
+        elig: List[int] = []
+        node = c
+        if dmax is None:
+            while node != NO_PARENT:
+                if node in rset:
+                    elig.append(node)
+                node = parents[node]
+        else:
+            dist = 0.0
+            while node != NO_PARENT and dist <= dmax:
+                if node in rset:
+                    elig.append(node)
+                dist += deltas[node]
+                node = parents[node]
         if not elig:
             return None
         out[c] = elig
@@ -54,19 +76,31 @@ def multiple_assignment(
 ) -> Optional[Dict[Tuple[int, int], int]]:
     """Assignment under the Multiple policy, or ``None`` if infeasible.
 
-    Builds the transportation network and checks that the maximum flow
+    Without a distance constraint every client's eligible set is its
+    whole root path, so the eligibility structure is *laminar* and the
+    lowest-server-first greedy is exact (see :func:`_assign_nod`) —
+    linear time instead of a max-flow solve.  With ``dmax`` the eligible
+    chains become windows, laminarity breaks, and the transportation
+    network is solved with Dinic: feasible iff the maximum flow
     saturates every client's demand.
     """
     replicas = list(replicas)
-    elig = eligible_map(instance, replicas)
-    if elig is None:
-        return None
     tree = instance.tree
     W = instance.capacity
     total = tree.total_requests
+    rset = set(replicas)
+    if instance.dmax is None:
+        if total == 0:
+            return {}
+        if total > W * len(rset):
+            return None
+        return _assign_nod(tree, rset, W)
+    elig = eligible_map(instance, replicas)
+    if elig is None:
+        return None
     if total == 0:
         return {}
-    if total > W * len(set(replicas)):
+    if total > W * len(rset):
         return None
 
     clients = sorted(elig)
@@ -76,23 +110,97 @@ def multiple_assignment(
     n_nodes = 2 + len(clients) + len(servers)
     source, sink = 0, n_nodes - 1
 
-    g = FlowNetwork(n_nodes)
-    middle_arcs: Dict[int, Tuple[int, int]] = {}
+    # Arc ids are sequential, so one bulk build plus a parallel
+    # ``(client, server)`` list replaces the per-arc id bookkeeping;
+    # insertion order (source arcs interleaved with each client's
+    # middle arcs, then the sink arcs) is that of the original
+    # per-call build, keeping the flow split identical.
+    requests = tree._requests
+    arcs: List[Tuple[int, int, int]] = []
+    middle: List[Optional[Tuple[int, int]]] = []
     for c in clients:
-        g.add_edge(source, cindex[c], tree.requests(c))
+        r = requests[c]
+        ci = cindex[c]
+        arcs.append((source, ci, r))
+        middle.append(None)
         for s in elig[c]:
-            eid = g.add_edge(cindex[c], sindex[s], tree.requests(c))
-            middle_arcs[eid] = (c, s)
+            arcs.append((ci, sindex[s], r))
+            middle.append((c, s))
+    n_client_arcs = len(arcs)
     for s in servers:
-        g.add_edge(sindex[s], sink, W)
+        arcs.append((sindex[s], sink, W))
+
+    g = FlowNetwork(n_nodes)
+    g.add_edges(arcs)
 
     if max_flow(g, source, sink) != total:
         return None
+    capacity = g.capacity
+    orig = g._orig_capacity
     out: Dict[Tuple[int, int], int] = {}
-    for eid, (c, s) in middle_arcs.items():
-        f = g.flow_on(eid)
-        if f > 0:
-            out[(c, s)] = f
+    for i in range(n_client_arcs):
+        cs = middle[i]
+        if cs is not None:
+            eid = 2 * i
+            f = orig[eid] - capacity[eid]
+            if f > 0:
+                out[cs] = f
+    return out
+
+
+def _assign_nod(
+    tree: Tree, rset: set, W: int
+) -> Optional[Dict[Tuple[int, int], int]]:
+    """Exact Multiple-NoD assignment by the lowest-server-first greedy.
+
+    Pending ``(client, amount)`` units bubble up the flat post-order;
+    every replica absorbs as much as fits (FIFO in child order, the last
+    entry split).  Lowest-first is exact for laminar eligibility: by
+    induction up the tree the greedy's forwarded amount at every node is
+    a lower bound over *all* assignments (a replica can only serve its
+    own subtree, so absorbing early never starves anyone above), hence
+    units stranded at the root certify infeasibility.
+    """
+    ft = flat_tree(tree)
+    n = ft.n
+    demand = ft.demand
+    first_child = ft.first_child
+    next_sibling = ft.next_sibling
+    post_to_orig = ft.post_to_orig
+    pending: List[Optional[List[List[int]]]] = [None] * n
+    out: Dict[Tuple[int, int], int] = {}
+    for p in range(n):
+        v = post_to_orig[p]
+        c = first_child[p]
+        if c < 0:
+            r = demand[p]
+            cur: List[List[int]] = [[v, r]] if r > 0 else []
+        else:
+            cur = []
+            while c >= 0:
+                ch = pending[c]
+                if ch:
+                    cur.extend(ch)
+                c = next_sibling[c]
+        if cur and v in rset:
+            room = W
+            k = 0
+            ncur = len(cur)
+            while k < ncur and room > 0:
+                entry = cur[k]
+                amt = entry[1]
+                if amt <= room:
+                    out[(entry[0], v)] = amt
+                    room -= amt
+                    k += 1
+                else:
+                    out[(entry[0], v)] = room
+                    entry[1] = amt - room
+                    room = 0
+            cur = cur[k:]
+        pending[p] = cur
+    if pending[ft.root]:
+        return None
     return out
 
 

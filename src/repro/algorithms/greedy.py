@@ -30,6 +30,7 @@ from typing import Dict, List, Tuple
 from ..core.arrays import flat_tree
 from ..core.errors import InfeasibleInstanceError
 from ..core.instance import ProblemInstance
+from ..core.kernels import capacity_split, stable_argsort
 from ..core.placement import Placement
 from ..core.policies import Policy
 from ..runner.registry import register_solver
@@ -200,25 +201,22 @@ def multiple_greedy(instance: ProblemInstance) -> Placement:
             child = next_sibling[child]
         if not temp:
             continue
-        temp.sort(key=lambda t: -t[0])
+        # Farthest-first, stable on ties — the kernel helpers keep the
+        # order and the capacity scan identical in either backend.
+        order = stable_argsort([-t[0] for t in temp])
+        temp = [temp[i] for i in order]
         wtot = sum(w for (_d, w, _i) in temp)
         is_root = j == root
 
         if is_root or temp[0][0] + delta[j] > dmax or wtot > W:
-            absorbed: List[Tuple[float, int, int]] = []
-            wproc = 0
-            k = 0
-            while k < len(temp) and wproc < W:
-                d, w, i = temp[k]
-                take = min(w, W - wproc)
-                absorbed.append((d, take, i))
-                if take < w:
-                    temp[k] = (d, w - take, i)
-                else:
-                    k += 1
-                wproc += take
-            serve(post_to_orig[j], absorbed)
+            k, partial = capacity_split([w for (_d, w, _i) in temp], W)
+            absorbed = list(temp[:k])
             temp = temp[k:]
+            if partial > 0:
+                d, w, i = temp[0]
+                absorbed.append((d, partial, i))
+                temp[0] = (d, w - partial, i)
+            serve(post_to_orig[j], absorbed)
 
         # Leftovers that cannot travel upward are sent back to their own
         # client nodes (self-serving is always distance-feasible).

@@ -74,6 +74,13 @@ from typing import Dict, List, Optional, Tuple
 from ..core.arrays import flat_tree
 from ..core.errors import PolicyError
 from ..core.instance import ProblemInstance
+from ..core.kernels import (
+    absorb_step,
+    leaf_table,
+    levels,
+    min_plus,
+    min_plus_mono,
+)
 from ..core.placement import Placement
 from ..core.policies import Policy
 from ..runner.registry import register_solver
@@ -82,195 +89,13 @@ __all__ = ["multiple_nod_dp"]
 
 _INF = float("inf")
 
-
-def _min_plus(
-    a: List[float], b: List[float], cap: int
-) -> Tuple[List[float], List[Optional[int]]]:
-    """Min-plus convolution ``c(U) = min_j a(j) + b(U-j)``, ``U ≤ cap``.
-
-    The general quadratic kernel: no assumption on ``a`` or ``b``.
-
-    Parameters
-    ----------
-    a, b:
-        Cost tables (``inf`` marks infeasible entries).
-    cap:
-        Largest ``U`` of interest; the output is truncated to it.
-
-    Returns
-    -------
-    ``(out, arg)`` — the convolved table and, for reconstruction, the
-    argmin split point (the amount taken from ``a``) for each ``U``;
-    ties break toward the smallest split.
-    """
-    n = min(len(a) + len(b) - 1, cap + 1)
-    out = [_INF] * n
-    arg: List[Optional[int]] = [None] * n
-    for j, aj in enumerate(a):
-        if aj == _INF or j >= n:
-            continue
-        hi = min(len(b), n - j)
-        for k in range(hi):
-            val = aj + b[k]
-            if val < out[j + k]:
-                out[j + k] = val
-                arg[j + k] = j
-    return out, arg
-
-
-def _levels(table: List[float]) -> List[Tuple[int, int, float]]:
-    """Constant runs of a non-increasing table, infinite prefix dropped.
-
-    Parameters
-    ----------
-    table:
-        A non-increasing cost table (every DP table is one).
-
-    Returns
-    -------
-    ``[(start, end, value), ...]`` with inclusive index bounds, ordered
-    by ascending ``start`` (hence strictly descending finite ``value``).
-    """
-    out: List[Tuple[int, int, float]] = []
-    prev = _INF
-    start = 0
-    for j, v in enumerate(table):
-        if v != prev:
-            if prev != _INF:
-                out.append((start, j - 1, prev))
-            prev = v
-            start = j
-    if prev != _INF:
-        out.append((start, len(table) - 1, prev))
-    return out
-
-
-def _min_plus_mono(
-    a: List[float], b: List[float], cap: int
-) -> Tuple[List[float], List[Optional[int]]]:
-    """:func:`_min_plus` specialised to **non-increasing** ``a``.
-
-    Decomposes ``a`` into its constant levels: within one level the
-    cheapest split is always the level's left edge (a smaller ``j``
-    leaves more to ``b``, whose cost is non-increasing), so only level
-    starts — clamped to ``b``'s reach — compete per output index.
-
-    Parameters
-    ----------
-    a:
-        Non-increasing cost table (infinite prefix allowed).  **The
-        caller guarantees monotonicity**; it is not checked.  As with
-        :func:`_absorb_step`, non-increasing means every ``inf`` is a
-        prefix — infinite entries *after* a finite one break the level
-        decomposition and yield silently wrong minima.
-    b, cap:
-        As in :func:`_min_plus`; ``b`` need not be monotone for
-        correctness of the minima, but tie-breaking identity with the
-        general kernel additionally requires non-increasing ``b``
-        (both hold for every DP pool).
-
-    Returns
-    -------
-    ``(out, arg)`` — exactly what ``_min_plus(a, b, cap)`` returns,
-    including tie-breaking toward the smallest split; property-tested
-    against the general kernel in ``tests/test_arrays.py``.
-    """
-    n = min(len(a) + len(b) - 1, cap + 1)
-    out = [_INF] * n
-    arg: List[Optional[int]] = [None] * n
-    b_last = len(b) - 1
-    for (j0, j1, av) in _levels(a):
-        if j0 >= n:
-            break
-        # Unclamped: split j0 serves U = j0 .. j0 + b_last.
-        hi_k = b_last if b_last <= n - 1 - j0 else n - 1 - j0
-        for k in range(hi_k + 1):
-            val = av + b[k]
-            U = j0 + k
-            if val < out[U]:
-                out[U] = val
-                arg[U] = j0
-        # Clamped: for U beyond j0 + b_last the split must move right
-        # with U (j = U - b_last) while it stays inside this level.
-        u_hi = j1 + b_last
-        if u_hi > n - 1:
-            u_hi = n - 1
-        if b_last >= 0:
-            vb = av + b[b_last]
-            for U in range(j0 + b_last + 1, u_hi + 1):
-                if vb < out[U]:
-                    out[U] = vb
-                    arg[U] = U - b_last
-    return out, arg
-
-
-def _absorb_step(
-    pool: List[float], u_cap: int, W: int, can_host: bool = True
-) -> Tuple[List[float], List[Optional[int]]]:
-    """The DP's absorb step over a **non-increasing** pool.
-
-    Computes ``table[u] = min(pool[u], 1 + min_{u < U ≤ u+W} pool[U])``
-    in O(1) amortised per ``u``: the pool is non-increasing, so the
-    window minimum over ``(u, u+W]`` sits at its right edge, and the
-    *first* index holding that value is the start of that edge's level
-    (clamped into the window) — exactly the argmin the ascending scan
-    of the object-graph formulation settles on.
-
-    Parameters
-    ----------
-    pool:
-        The children pool (non-increasing; **not checked**).  Note that
-        non-increasing implies every ``inf`` entry forms a *prefix*: a
-        pool with an infinite entry after a finite one violates the
-        precondition, and the level scan would then silently skip
-        absorb candidates whose window edge lands past the finite
-        region.  All DP pools satisfy the invariant by construction
-        (min-plus of inf-prefix monotone tables is inf-prefix
-        monotone).
-    u_cap:
-        Largest forward amount of interest (table length − 1).
-    W:
-        Server capacity — the absorb window width.
-    can_host:
-        False forbids a replica here (the incremental DP's failed-host
-        case): the table is the pool truncated to ``u_cap``, with every
-        ``chose`` entry ``None``.
-
-    Returns
-    -------
-    ``(table, chose)`` — the node table and the chosen absorb source
-    per ``u`` (``None`` = no replica at this node), bit-identical to
-    the original quadratic scan.
-    """
-    table = [_INF] * (u_cap + 1)
-    chose: List[Optional[int]] = [None] * (u_cap + 1)
-    lp = len(pool)
-    if not can_host:
-        for u in range(u_cap + 1 if u_cap + 1 < lp else lp):
-            table[u] = pool[u]
-        return table, chose
-
-    plevels = _levels(pool)
-    nlev = len(plevels)
-    li = 0
-    for u in range(u_cap + 1):
-        best = pool[u] if u < lp else _INF
-        pick: Optional[int] = None
-        hi = u + W
-        if hi > lp - 1:
-            hi = lp - 1
-        if hi >= u + 1:
-            while li < nlev and plevels[li][1] < hi:
-                li += 1
-            if li < nlev and plevels[li][0] <= hi:
-                s, _e, pv = plevels[li]
-                val = pv + 1.0
-                if val < best:
-                    best = val
-                    pick = s if s > u else u + 1
-        table[u] = best
-        chose[u] = pick
-    return table, chose
+# The step-function kernels live in :mod:`repro.core.kernels` (pure
+# Python + NumPy backends, selected at import).  The underscore aliases
+# keep this module the historical import site for them.
+_levels = levels
+_min_plus = min_plus
+_min_plus_mono = min_plus_mono
+_absorb_step = absorb_step
 
 
 def _fold_node_tables(
@@ -283,13 +108,13 @@ def _fold_node_tables(
     pool_cap: int,
 ) -> Tuple[
     List[float],
-    List[Tuple[int, List[Optional[int]]]],
-    List[Optional[int]],
+    List[Tuple[int, List[int]]],
+    List[int],
 ]:
     """One internal-node DP fold on the flat substrate.
 
     Convolves the children's tables into the pool with the monotone
-    kernel, then applies :func:`_absorb_step`.
+    kernel, then applies :func:`repro.core.kernels.absorb_step`.
 
     Parameters
     ----------
@@ -308,17 +133,17 @@ def _fold_node_tables(
     -------
     ``(table, args, chose)`` — the node's table, the per-child
     convolution argmins (in child order, keyed by child post position)
-    and the chosen absorb source per ``u`` (``None`` = no replica) —
+    and the chosen absorb source per ``u`` (``-1`` = no replica) —
     all bit-identical to the object-graph formulation.
     """
     pool: List[float] = [0.0]
-    args: List[Tuple[int, List[Optional[int]]]] = []
+    args: List[Tuple[int, List[int]]] = []
     c = first_child[p]
     while c >= 0:
-        pool, arg = _min_plus_mono(g[c], pool, pool_cap)
+        pool, arg = min_plus_mono(g[c], pool, pool_cap)
         args.append((c, arg))
         c = next_sibling[c]
-    table, chose = _absorb_step(pool, u_cap, W)
+    table, chose = absorb_step(pool, u_cap, W)
     return table, args, chose
 
 
@@ -368,24 +193,15 @@ def multiple_nod_dp(instance: ProblemInstance) -> Placement:
 
     # g[p]: list over u of minimal replicas; bookkeeping for rebuild.
     g: List[Optional[List[float]]] = [None] * n
-    conv_args: List[Optional[List[Tuple[int, List[Optional[int]]]]]] = [None] * n
-    absorb_from: List[Optional[List[Optional[int]]]] = [None] * n
+    conv_args: List[Optional[List[Tuple[int, List[int]]]]] = [None] * n
+    absorb_from: List[Optional[List[int]]] = [None] * n
 
     for p in range(n):
         cap_fwd = W * depth[p]
         u_cap = sdem[p] if sdem[p] < cap_fwd else cap_fwd
         if first_child[p] < 0:
-            r = demand[p]
             # Serving r - u locally needs one replica of capacity W.
-            table = []
-            for u in range(u_cap + 1):
-                if u >= r:
-                    table.append(0.0)
-                elif r - u <= W:
-                    table.append(1.0)
-                else:
-                    table.append(_INF)
-            g[p] = table
+            g[p] = leaf_table(demand[p], u_cap, W)
             continue
         pool_cap = min(sdem[p], W * (depth[p] + 1))
         table, args, chose = _fold_node_tables(
@@ -416,14 +232,14 @@ def multiple_nod_dp(instance: ProblemInstance) -> Placement:
             continue
         U = u
         src = absorb_from[p][u]
-        if src is not None:
+        if src >= 0:
             replicas.append(post_to_orig[p])
             U = src
         # Split U across children by unwinding the convolutions.
         remaining = U
         for child, arg in reversed(conv_args[p]):
             take = arg[remaining]
-            assert take is not None
+            assert take >= 0
             forward[child] = take
             remaining -= take
             stack.append(child)

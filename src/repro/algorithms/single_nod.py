@@ -56,6 +56,7 @@ from typing import Dict, List, Optional, Tuple
 from ..core.arrays import flat_tree
 from ..core.errors import InfeasibleInstanceError, PolicyError
 from ..core.instance import ProblemInstance
+from ..core.kernels import prefix_fit, stable_argsort
 from ..core.placement import Placement
 from ..core.policies import Policy
 from ..runner.registry import register_solver
@@ -173,26 +174,18 @@ def single_nod(instance: ProblemInstance) -> Placement:
         if total > W:
             # Pack a replica at j with the smallest entries (stable
             # sort: insertion order breaks demand ties, as in the
-            # original).
-            entries.sort(key=lambda e: e[1])
-            packed: List[_Entry] = []
-            acc = 0
-            k = 0
-            overflow: Optional[_Entry] = None
-            while k < len(entries):
-                if acc + entries[k][1] > W:
-                    overflow = entries[k]
-                    k += 1
-                    break
-                acc += entries[k][1]
-                packed.append(entries[k])
-                k += 1
-            open_replica(v, packed)
+            # original); the kernel helpers keep the scan identical in
+            # either backend.
+            order = stable_argsort([e[1] for e in entries])
+            entries = [entries[i] for i in order]
+            k = prefix_fit([e[1] for e in entries], W)
+            assert k < len(entries)  # total > W and demands ≤ W
+            open_replica(v, entries[:k])
             # The entry that burst the capacity gets its own replica at
             # its root node (the paper's jmin / R2 replica).
-            assert overflow is not None  # total > W and demands ≤ W
+            overflow = entries[k]
             open_replica(overflow[0], [overflow])
-            leftovers = entries[k:]
+            leftovers = entries[k + 1 :]
             if j != root:
                 export[j] = ("left", leftovers)
             else:

@@ -20,7 +20,7 @@ tests and benchmarks.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Set
 
 from .errors import InvalidPlacementError
 from .instance import ProblemInstance
@@ -33,53 +33,69 @@ __all__ = ["check_placement", "placement_violations", "is_valid"]
 def placement_violations(
     instance: ProblemInstance, placement: Placement
 ) -> List[str]:
-    """Return a list of human-readable constraint violations (empty if valid)."""
+    """Return a list of human-readable constraint violations (empty if valid).
+
+    One pass over the (sorted) assignments covers the per-assignment
+    constraints and accumulates the per-client totals the completeness
+    and policy checks read afterwards — O(R + A + C) instead of the
+    former O(C · A) of summing each client's share separately.  The
+    violation strings and their order are unchanged.
+    """
     tree = instance.tree
     W = instance.capacity
     dmax = instance.dmax
     problems: List[str] = []
 
     n = len(tree)
-    for r in placement.replicas:
+    replicas = placement.replicas
+    for r in replicas:
         if not 0 <= r < n:
             problems.append(f"replica {r} is not a node of the tree")
 
-    # Registration + ancestry + distance, per assignment.
-    for a in placement.iter_assignments():
-        if not 0 <= a.client < n or not tree.is_leaf(a.client):
-            problems.append(f"assignment client {a.client} is not a leaf client")
+    # Registration + ancestry + distance, per assignment; totals and
+    # per-client server sets accumulate unconditionally (completeness
+    # counts every assigned unit, valid or not).
+    served: Dict[int, int] = {}
+    client_servers: Dict[int, Set[int]] = {}
+    single = instance.policy is Policy.SINGLE
+    for (c, s), amount in sorted(placement.assignments.items()):
+        served[c] = served.get(c, 0) + amount
+        if single:
+            client_servers.setdefault(c, set()).add(s)
+        if not 0 <= c < n or not tree.is_leaf(c):
+            problems.append(f"assignment client {c} is not a leaf client")
             continue
-        if not 0 <= a.server < n:
-            problems.append(f"assignment server {a.server} is not a tree node")
+        if not 0 <= s < n:
+            problems.append(f"assignment server {s} is not a tree node")
             continue
-        if a.server not in placement.replicas:
+        if s not in replicas:
             problems.append(
-                f"server {a.server} serves client {a.client} but is not in R"
+                f"server {s} serves client {c} but is not in R"
             )
-        if not tree.is_ancestor(a.server, a.client):
+        if not tree.is_ancestor(s, c):
             problems.append(
-                f"server {a.server} is not on the root path of client "
-                f"{a.client} (subtree constraint violated)"
+                f"server {s} is not on the root path of client "
+                f"{c} (subtree constraint violated)"
             )
             continue
         if dmax is not None:
-            d = tree.distance_to_ancestor(a.client, a.server)
+            d = tree.distance_to_ancestor(c, s)
             if d > dmax:
                 problems.append(
-                    f"client {a.client} served by {a.server} at distance "
+                    f"client {c} served by {s} at distance "
                     f"{d} > dmax={dmax}"
                 )
 
     # Completeness and policy, per client.
     for c in tree.clients:
         r = tree.requests(c)
-        served = placement.served_amount(c)
-        if served != r:
+        got = served.get(c, 0)
+        if got != r:
             problems.append(
-                f"client {c} has {r} requests but {served} are assigned"
+                f"client {c} has {r} requests but {got} are assigned"
             )
-        if instance.policy is Policy.SINGLE and r > 0:
-            servers = placement.servers_of(c)
+        if single and r > 0:
+            servers = sorted(client_servers.get(c, ()))
             if len(servers) > 1:
                 problems.append(
                     f"Single policy violated: client {c} uses servers {servers}"

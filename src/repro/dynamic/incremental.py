@@ -36,8 +36,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from ..algorithms.multiple_nod_dp import _absorb_step, _min_plus_mono
 from ..core.arrays import flat_tree
+from ..core.kernels import (
+    absorb_step,
+    leaf_table,
+    min_plus_mono,
+    prefix_fit,
+    stable_argsort,
+)
 from ..core.errors import InfeasibleInstanceError, PolicyError, ReproError
 from ..core.instance import ProblemInstance
 from ..core.placement import Placement
@@ -170,33 +176,28 @@ class IncrementalNodDP:
             u_cap = min(sdem[p], W * depth[p])
             if first_child[p] < 0:
                 r = demand[p]
-                table: List[float] = []
                 if v in failed:
                     # A failed leaf cannot serve itself: everything must
                     # be forwarded to (non-failed) ancestors.
-                    table = [0.0 if u >= r else _INF for u in range(u_cap + 1)]
+                    table: List[float] = [
+                        0.0 if u >= r else _INF for u in range(u_cap + 1)
+                    ]
                 else:
-                    for u in range(u_cap + 1):
-                        if u >= r:
-                            table.append(0.0)
-                        elif r - u <= W:
-                            table.append(1.0)
-                        else:
-                            table.append(_INF)
+                    table = leaf_table(r, u_cap, W)
                 memo[v] = (fps[v], table, None, None)
                 continue
             pool_cap = min(sdem[p], W * (depth[p] + 1))
             pool: List[float] = [0.0]
-            args: List[Tuple[int, List[Optional[int]]]] = []
+            args: List[Tuple[int, List[int]]] = []
             c = first_child[p]
             while c >= 0:
                 child = post_to_orig[c]
-                pool, arg = _min_plus_mono(memo[child][1], pool, pool_cap)
+                pool, arg = min_plus_mono(memo[child][1], pool, pool_cap)
                 args.append((child, arg))
                 c = next_sibling[c]
             # Absorb branch: a replica at v takes 1..W of the pool —
             # unless v is a failed host, which loses the branch.
-            table, chose = _absorb_step(pool, u_cap, W, can_host=v not in failed)
+            table, chose = absorb_step(pool, u_cap, W, can_host=v not in failed)
             memo[v] = (fps[v], table, args, chose)
 
         stats = IncrementalStats(n, reused, recomputed)
@@ -226,14 +227,14 @@ class IncrementalNodDP:
             _fp, _table, args, chose = memo[v]
             U = u
             src = chose[u]
-            if src is not None:
+            if src >= 0:
                 replicas.append(v)
                 absorb[v] = src - u
                 U = src
             remaining = U
             for child, arg in reversed(args):
                 take = arg[remaining]
-                assert take is not None
+                assert take >= 0
                 forward[child] = take
                 remaining -= take
                 stack.append(child)
@@ -469,25 +470,18 @@ class IncrementalSingleNod:
 
         total = sum(e[1] for e in entries)
         if total > W:
-            entries.sort(key=lambda e: e[1])  # stable, as in Algorithm 2
-            packed: List[_Entry] = []
-            acc = 0
-            k = 0
-            overflow: Optional[_Entry] = None
-            while k < len(entries):
-                if acc + entries[k][1] > W:
-                    overflow = entries[k]
-                    k += 1
-                    break
-                acc += entries[k][1]
-                packed.append(entries[k])
-                k += 1
-            assert overflow is not None  # total > W and demands ≤ W
+            # Stable smallest-first packing, as in Algorithm 2 — the
+            # shared kernel helpers keep every tie-break identical.
+            order = stable_argsort([e[1] for e in entries])
+            entries = [entries[i] for i in order]
+            k = prefix_fit([e[1] for e in entries], W)
+            assert k < len(entries)  # total > W and demands ≤ W
+            overflow = entries[k]
             contribution: List[Tuple[int, Tuple[Tuple[int, int], ...]]] = [
-                (j, _merge_bundles(packed)),
+                (j, _merge_bundles(entries[:k])),
                 (overflow[0], overflow[2]),
             ]
-            leftovers = tuple(entries[k:])
+            leftovers = tuple(entries[k + 1 :])
             if not is_root:
                 return ("left", leftovers), tuple(contribution)
             # Paper's R3: at the root, each leftover opens its own replica.

@@ -27,61 +27,67 @@ def _bfs_levels(g: FlowNetwork, s: int, t: int) -> List[int]:
     """Levels of the residual level graph, or [] if t unreachable."""
     level = [-1] * g.n
     level[s] = 0
+    head = g.head
+    to = g.to
+    capacity = g.capacity
+    next_edge = g.next_edge
     q = deque([s])
+    pop = q.popleft
+    push = q.append
     while q:
-        u = q.popleft()
-        e = g.head[u]
+        u = pop()
+        lu = level[u] + 1
+        e = head[u]
         while e != -1:
-            v = g.to[e]
-            if g.capacity[e] > 0 and level[v] < 0:
-                level[v] = level[u] + 1
-                q.append(v)
-            e = g.next_edge[e]
+            if capacity[e] > 0:
+                v = to[e]
+                if level[v] < 0:
+                    level[v] = lu
+                    push(v)
+            e = next_edge[e]
     return level if level[t] >= 0 else []
 
 
 def _blocking_flow(g: FlowNetwork, s: int, t: int, level: List[int], it: List[int]) -> int:
-    """Push a blocking flow through the level graph (iterative DFS)."""
+    """Push a blocking flow through the level graph (iterative DFS).
+
+    Current-arc DFS; after each augmentation the walk restarts from
+    ``s`` (the current-arc pointers keep the restart cheap), which keeps
+    the sequence of augmenting paths — and hence the per-arc flow split —
+    exactly reproducible.
+    """
     total = 0
+    to = g.to
+    capacity = g.capacity
+    next_edge = g.next_edge
     while True:
         # Find an augmenting path in the level graph using current-arc.
         path: List[int] = []  # arc ids
         u = s
         while u != t:
             e = it[u]
-            advanced = False
+            lu = level[u] + 1
             while e != -1:
-                v = g.to[e]
-                if g.capacity[e] > 0 and level[v] == level[u] + 1:
-                    advanced = True
+                if capacity[e] > 0 and level[to[e]] == lu:
                     break
-                e = g.next_edge[e]
+                e = next_edge[e]
             it[u] = e
-            if not advanced:
+            if e == -1:
                 # dead end: retreat
                 if u == s:
                     return total
                 level[u] = -1  # prune
                 dead = path.pop()
-                u = g.to[dead ^ 1]
+                u = to[dead ^ 1]
                 continue
             path.append(e)
-            u = v
+            u = to[e]
         # Augment along the path by its bottleneck.
-        bottleneck = min(g.capacity[e] for e in path)
+        bottleneck = min(capacity[e] for e in path)
         for e in path:
-            g.capacity[e] -= bottleneck
-            g.capacity[e ^ 1] += bottleneck
+            capacity[e] -= bottleneck
+            capacity[e ^ 1] += bottleneck
         total += bottleneck
-        # Restart from the arc whose capacity hit zero.
-        for idx, e in enumerate(path):
-            if g.capacity[e] == 0:
-                u = s if idx == 0 else g.to[path[idx - 1]]
-                path = path[:idx]
-                break
-        # Reset walk position: simplest correct restart is from s.
-        path = []
-        u = s
 
 
 def max_flow(g: FlowNetwork, source: int, sink: int) -> int:

@@ -9,7 +9,7 @@ algorithms.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Iterable, List, Tuple
 
 __all__ = ["FlowNetwork"]
 
@@ -57,6 +57,40 @@ class FlowNetwork:
         self.next_edge.append(self.head[v])
         self.head[v] = eid + 1
         return eid
+
+    def add_edges(self, arcs: Iterable[Tuple[int, int, int]]) -> int:
+        """Bulk :meth:`add_edge`; returns the id of the first arc added.
+
+        Ids are assigned sequentially: the ``i``-th ``(u, v, cap)`` triple
+        gets forward-arc id ``first + 2·i``.  Validation and residual
+        layout are exactly those of repeated :meth:`add_edge` calls, with
+        one attribute lookup per array instead of per arc.
+        """
+        n = self.n
+        head = self.head
+        to = self.to
+        nxt = self.next_edge
+        capacity = self.capacity
+        orig = self._orig_capacity
+        eid = len(to)
+        first = eid
+        for u, v, cap in arcs:
+            if cap < 0:
+                raise ValueError(f"capacity must be non-negative, got {cap}")
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"arc ({u},{v}) out of range for n={n}")
+            to.append(v)
+            capacity.append(cap)
+            orig.append(cap)
+            nxt.append(head[u])
+            head[u] = eid
+            to.append(u)
+            capacity.append(0)
+            orig.append(0)
+            nxt.append(head[v])
+            head[v] = eid + 1
+            eid += 2
+        return first
 
     def flow_on(self, eid: int) -> int:
         """Flow currently pushed on forward arc ``eid``."""

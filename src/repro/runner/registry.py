@@ -50,6 +50,7 @@ __all__ = [
     "available_solvers",
     "solvers_for",
     "solve",
+    "result_from_outcome",
 ]
 
 
@@ -251,33 +252,65 @@ def solve(
 
     t0 = time.perf_counter()
     try:
-        placement = spec.fn(instance, **kwargs)
-    except InfeasibleInstanceError as exc:
-        return SolveResult(
-            solver=name, instance=iid, seed=seed, status=Status.INFEASIBLE,
-            wall_time=time.perf_counter() - t0, counters=counters,
-            error=f"{type(exc).__name__}: {exc}",
-        )
-    except (PolicyError, NotBinaryTreeError, InvalidInstanceError) as exc:
-        return SolveResult(
-            solver=name, instance=iid, seed=seed, status=Status.INAPPLICABLE,
-            wall_time=time.perf_counter() - t0, counters=counters,
-            error=f"{type(exc).__name__}: {exc}",
-        )
-    except SolverError as exc:
-        return SolveResult(
-            solver=name, instance=iid, seed=seed, status=Status.BUDGET,
-            wall_time=time.perf_counter() - t0, counters=counters,
-            error=f"{type(exc).__name__}: {exc}",
-        )
+        outcome: object = spec.fn(instance, **kwargs)
     except Exception as exc:  # noqa: BLE001 — uniform batch reporting
-        return SolveResult(
-            solver=name, instance=iid, seed=seed, status=Status.ERROR,
-            wall_time=time.perf_counter() - t0, counters=counters,
-            error=f"{type(exc).__name__}: {exc}",
-        )
-    elapsed = time.perf_counter() - t0
+        outcome = exc
+    return result_from_outcome(
+        name,
+        instance,
+        outcome,
+        time.perf_counter() - t0,
+        counters=counters,
+        instance_id=iid,
+        seed=seed,
+        keep_placement=keep_placement,
+    )
 
+
+def result_from_outcome(
+    name: str,
+    instance: ProblemInstance,
+    outcome: object,
+    elapsed: float,
+    *,
+    counters: Optional[Dict[str, int]] = None,
+    instance_id: Optional[str] = None,
+    seed: int = 0,
+    keep_placement: bool = False,
+) -> SolveResult:
+    """Normalise a solver outcome produced out-of-band into a result.
+
+    ``outcome`` is either the :class:`Placement` the solver returned or
+    the exception it raised.  The status mapping and the checker
+    validation are exactly those of :func:`solve`, so batch paths that
+    obtain placements elsewhere — the service façade's batched
+    ``solve_many`` and the sweep runner's batched leg — report
+    identically to a direct registry call.
+    """
+    iid = (
+        instance_id
+        if instance_id is not None
+        else (instance.name or instance.variant)
+    )
+    if counters is None:
+        counters = {}
+    if isinstance(outcome, BaseException):
+        if isinstance(outcome, InfeasibleInstanceError):
+            status = Status.INFEASIBLE
+        elif isinstance(
+            outcome, (PolicyError, NotBinaryTreeError, InvalidInstanceError)
+        ):
+            status = Status.INAPPLICABLE
+        elif isinstance(outcome, SolverError):
+            status = Status.BUDGET
+        else:
+            status = Status.ERROR
+        return SolveResult(
+            solver=name, instance=iid, seed=seed, status=status,
+            wall_time=elapsed, counters=counters,
+            error=f"{type(outcome).__name__}: {outcome}",
+        )
+    placement: Placement = outcome  # type: ignore[assignment]
     problems = placement_violations(instance, placement)
     status = Status.OK if not problems else Status.INVALID
     return SolveResult(

@@ -45,6 +45,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set
 from ..core.bounds import lower_bound
 from ..core.instance import ProblemInstance
 from ..core.placement import Placement
+from ..core.policies import Policy
 from ..core.validation import placement_violations
 from ..instances.io import (
     canonical_json,
@@ -53,7 +54,7 @@ from ..instances.io import (
     placement_to_dict,
 )
 from ..runner import registry
-from ..runner.result import Status
+from ..runner.result import SolveResult, Status
 from ..runner.registry import UnknownSolverError
 from ..storage import (
     CachePut,
@@ -85,6 +86,10 @@ class UnknownSessionError(KeyError):
 
 # Deterministic outcomes worth caching: re-solving cannot change them.
 _CACHEABLE = (Status.OK, Status.INFEASIBLE)
+
+#: The solver whose solves :meth:`PlacementService.solve_many` batches
+#: through the array path (:mod:`repro.algorithms.batched`).
+_BATCH_SOLVER = "multiple-nod-dp"
 
 _STATUS_TO_CODE = {
     Status.INFEASIBLE: ErrorCode.INFEASIBLE,
@@ -232,7 +237,12 @@ class PlacementService:
         self.close()
 
     # -- the core call -------------------------------------------------
-    def solve(self, request: SolveRequest) -> SolveResponse:
+    def solve(
+        self,
+        request: SolveRequest,
+        *,
+        _precomputed: Optional[SolveResult] = None,
+    ) -> SolveResponse:
         """Answer one request; request-level failures never raise.
 
         Parameters
@@ -280,7 +290,7 @@ class PlacementService:
             self._record(response)
             return response
 
-        response = self._compute(request, fp, t0)
+        response = self._compute(request, fp, t0, _precomputed)
         if response.status in _CACHEABLE:
             # Cache the full response (assignments included) so later
             # hits can honour include_assignments either way.  The
@@ -306,7 +316,11 @@ class PlacementService:
         return response
 
     def _compute(
-        self, request: SolveRequest, fp: str, t0: float
+        self,
+        request: SolveRequest,
+        fp: str,
+        t0: float,
+        precomputed: Optional[SolveResult] = None,
     ) -> SolveResponse:
         diag = Diagnostics(fingerprint=fp)
         try:
@@ -322,15 +336,21 @@ class PlacementService:
         diag.selection = "explicit" if request.solver is not None else "auto"
         diag.selection_reason = reason
 
-        budget = request.budget
-        if budget is None:
-            budget = self._default_budget
-        result = registry.solve(
-            spec.name,
-            request.instance,
-            budget=budget,
-            keep_placement=True,
-        )
+        if precomputed is not None and precomputed.solver == spec.name:
+            # A batched solve_many already ran this request's solver;
+            # the result was normalised through the same registry path
+            # (checker validation included), so reuse it verbatim.
+            result = precomputed
+        else:
+            budget = request.budget
+            if budget is None:
+                budget = self._default_budget
+            result = registry.solve(
+                spec.name,
+                request.instance,
+                budget=budget,
+                keep_placement=True,
+            )
 
         diag.solve_ms = result.wall_time * 1e3
         diag.counters = dict(result.counters)
@@ -392,18 +412,81 @@ class PlacementService:
     def solve_many(
         self, requests: Iterable[SolveRequest]
     ) -> List[SolveResponse]:
-        """Solve a batch concurrently on the service's worker pool.
+        """Solve a batch, vectorising same-shape DP solves.
 
-        Responses come back in request order.  The pool is created on
-        first use and shared across calls; identical requests in one
-        batch still deduplicate through the cache (first one computes,
-        the rest hit — modulo racing, which at worst recomputes).
+        Responses come back in request order.  Requests that would run
+        the Multiple-NoD DP and are not already cached are solved first
+        as one array program (:mod:`repro.algorithms.batched` — one
+        NumPy pass per shape bucket, bit-identical placements); each
+        precomputed result then flows through the ordinary
+        :meth:`solve` path, so cache probing, checker validation, WAL
+        ``CachePut`` logging and stats recording are exactly those of a
+        sequential loop.  Cache hits never reach the batch.  Everything
+        else fans out on the service's worker pool as before; identical
+        requests in one batch still deduplicate through the cache
+        (first one computes, the rest hit — modulo racing, which at
+        worst recomputes).
         """
         reqs = list(requests)
         if len(reqs) <= 1:
             return [self.solve(r) for r in reqs]
+        pre: List[Optional[SolveResult]] = [None] * len(reqs)
+        batch_idx = [
+            i
+            for i, r in enumerate(reqs)
+            if self._batchable(r) and not self._is_cached(r)
+        ]
+        if len(batch_idx) >= 2:
+            for i, result in zip(
+                batch_idx, self._solve_batched([reqs[i] for i in batch_idx])
+            ):
+                pre[i] = result
         pool = self._ensure_pool()
-        return list(pool.map(self.solve, reqs))
+        return list(pool.map(self._solve_one, reqs, pre))
+
+    def _solve_one(
+        self, request: SolveRequest, precomputed: Optional[SolveResult]
+    ) -> SolveResponse:
+        return self.solve(request, _precomputed=precomputed)
+
+    def _batchable(self, request: SolveRequest) -> bool:
+        """True iff :meth:`solve` would run the batchable DP solver."""
+        try:
+            spec, _reason = select_solver(request.instance, request.solver)
+        except (UnknownSolverError, NoApplicableSolverError):
+            return False
+        return (
+            spec.name == _BATCH_SOLVER
+            and request.instance.policy is Policy.MULTIPLE
+            and not request.instance.has_distance_constraint
+        )
+
+    def _is_cached(self, request: SolveRequest) -> bool:
+        inst_fp = instance_fingerprint(request.instance)
+        return combine_fingerprint(
+            inst_fp, request.solver, request.budget
+        ) in self._cache
+
+    def _solve_batched(
+        self, batch: List[SolveRequest]
+    ) -> List[SolveResult]:
+        """Registry-normalised results for a batch of DP requests."""
+        from ..algorithms.batched import solve_many as batched_solve
+
+        instances = [r.instance for r in batch]
+        t0 = time.perf_counter()
+        outcomes = batched_solve(instances, return_exceptions=True)
+        per_instance = (time.perf_counter() - t0) / len(batch)
+        return [
+            registry.result_from_outcome(
+                _BATCH_SOLVER,
+                inst,
+                outcome,
+                per_instance,
+                keep_placement=True,
+            )
+            for inst, outcome in zip(instances, outcomes)
+        ]
 
     def check(
         self, instance: ProblemInstance, placement: Placement

@@ -148,11 +148,11 @@ def test_absorb_step_equals_quadratic_scan(pool, u_cap, W):
     table, chose = _absorb_step(pool, u_cap, W)
     # The original object-graph absorb scan, verbatim.
     ref_table = [_INF] * (u_cap + 1)
-    ref_chose = [None] * (u_cap + 1)
+    ref_chose = [-1] * (u_cap + 1)
     for u in range(u_cap + 1):
         if u < len(pool) and pool[u] < ref_table[u]:
             ref_table[u] = pool[u]
-            ref_chose[u] = None
+            ref_chose[u] = -1
         hi = min(u + W, len(pool) - 1)
         for U in range(u + 1, hi + 1):
             val = pool[U] + 1.0
@@ -167,7 +167,7 @@ def test_absorb_step_forbidden_host_truncates_pool():
     pool = [3.0, 2.0, 1.0]
     table, chose = _absorb_step(pool, 4, W=2, can_host=False)
     assert table == [3.0, 2.0, 1.0, _INF, _INF]
-    assert chose == [None] * 5
+    assert chose == [-1] * 5
 
 
 # ----------------------------------------------------------------------

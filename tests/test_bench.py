@@ -17,6 +17,7 @@ from repro.analysis import (
     write_snapshot,
 )
 from repro.cli import main
+from repro.core.kernels import HAVE_NUMPY
 
 
 @pytest.fixture(scope="module")
@@ -70,6 +71,24 @@ class TestRunBench:
         assert "multiple-nod-dp" in text
         assert "speedup" in text
         assert "flat-tree cache" in text
+        assert "batch ips" in text
+
+    def test_batch_throughput_entries(self, smoke_snapshot):
+        batch = smoke_snapshot["batch_throughput"]
+        assert len(batch) == 1
+        b = batch[0]
+        assert b["instance"] == "smoke-nod-multi"
+        assert b["solver"] == "multiple-nod-dp"
+        assert b["status"] == "ok"
+        assert b["batch_size"] == 8
+        assert b["identical"] is True
+        assert b["numpy"] is HAVE_NUMPY
+        assert b["sequential_ips"] > 0 and b["batched_ips"] > 0
+        assert b["speedup"] == pytest.approx(
+            b["sequential_s"] / b["batched_s"]
+        )
+        # smoke instances are too small to gate on a speedup floor.
+        assert b["min_speedup"] is None
 
 
 class TestSnapshotStore:
@@ -151,6 +170,41 @@ class TestCompare:
         assert any("errored" in p for p in problems)
         assert any("diverged" in p for p in problems)
 
+    def test_snapshot_problems_gates_batch_entries(self, smoke_snapshot):
+        broken = json.loads(json.dumps(smoke_snapshot))
+        b = broken["batch_throughput"][0]
+        b["identical"] = False
+        problems = snapshot_problems(broken)
+        assert any("batched solve_many" in p and "diverged" in p
+                   for p in problems)
+        b["identical"] = True
+        b["min_speedup"] = 2.0
+        b["speedup"] = 1.1
+        problems = snapshot_problems(broken)
+        assert any("below the 2.0x floor" in p for p in problems)
+        b["status"] = "error"
+        b["error"] = "RuntimeError: boom"
+        problems = snapshot_problems(broken)
+        assert any("batched solve_many errored" in p for p in problems)
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="fallback runs don't gate")
+    def test_batch_regression_and_fail_closed(self, smoke_snapshot):
+        base = json.loads(json.dumps(smoke_snapshot))
+        base["batch_throughput"][0]["batched_s"] = 0.004
+        slow = json.loads(json.dumps(base))
+        slow["batch_throughput"][0]["batched_s"] = 0.05
+        _lines, regressions = compare_snapshots(slow, base, 25.0)
+        assert any("solve_many/batch" in r for r in regressions)
+        # The gate fails closed: a batch entry the baseline measured ok
+        # cannot pass by not being measured at all.
+        gone = json.loads(json.dumps(base))
+        gone["batch_throughput"] = []
+        _lines, regressions = compare_snapshots(gone, base, 25.0)
+        assert any(
+            "solve_many/batch" in r and "missing or not ok" in r
+            for r in regressions
+        )
+
     def test_sub_millisecond_jitter_never_flags(self, smoke_snapshot):
         slow = json.loads(json.dumps(smoke_snapshot))
         for e in slow["entries"]:
@@ -202,5 +256,28 @@ class TestCli:
         rc = main([
             "bench", "--profile", "quick", "--out-dir", str(tmp_path),
             "--label", "cur", "--baseline", str(fast),
+        ])
+        assert rc == 1
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="fallback runs don't gate")
+    def test_bench_verb_fails_on_batch_regression_alone(self, tmp_path):
+        # Degrade only the baseline's batch entry: solver entries are
+        # made absurdly slow (current can only look better) while the
+        # batched time is forged absurdly fast, so an exit 1 can come
+        # from the batch_throughput comparison alone.
+        assert main([
+            "bench", "--profile", "quick", "--out-dir", str(tmp_path),
+            "--label", "base", "--baseline", "none",
+        ]) == 0
+        snap = load_snapshot(tmp_path / "BENCH_base.json")
+        for e in snap["entries"]:
+            e["wall_s"] = 1e9
+        for b in snap["batch_throughput"]:
+            b["batched_s"] = 1e-9
+        forged = tmp_path / "BENCH_forged.json"
+        forged.write_text(json.dumps(snap))
+        rc = main([
+            "bench", "--profile", "quick", "--out-dir", str(tmp_path),
+            "--label", "cur", "--baseline", str(forged),
         ])
         assert rc == 1

@@ -4,8 +4,11 @@ from __future__ import annotations
 
 import pytest
 
+from dataclasses import replace as dc_replace
+
 from repro import Placement, Policy, check_placement
 from repro.instances import random_binary_tree, random_tree
+from repro.storage import StateStore
 from repro.runner import register_solver, unregister_solver
 from repro.service import (
     AUTO_CHAIN,
@@ -250,6 +253,116 @@ class TestConcurrency:
         assert stats.requests == 18
         assert sum(stats.by_status.values()) == 18
         assert stats.latency_ms_max >= stats.latency_ms_p50 >= 0.0
+
+
+def _dp_variants(k: int, seed: int = 7) -> list:
+    """Same-shape Multiple-NoD instances differing only in requests —
+    exactly what :meth:`solve_many` stacks into one array program."""
+    base = random_tree(
+        5, 10, capacity=12, dmax=None, policy=Policy.MULTIPLE, seed=seed
+    )
+    tree = base.tree
+    out = []
+    for j in range(k):
+        reqs = [
+            (tree.requests(v) + j * (v + 1)) % (base.capacity + 1)
+            if tree.is_leaf(v)
+            else 0
+            for v in range(len(tree))
+        ]
+        out.append(dc_replace(base, tree=tree.with_requests(reqs)))
+    return out
+
+
+class TestSolveManyBatchedDP:
+    """The vectorised DP fast path behind :meth:`solve_many`."""
+
+    def test_batched_responses_equal_a_sequential_loop(self):
+        reqs = [
+            SolveRequest(instance=i, request_id=f"b{n}")
+            for n, i in enumerate(_dp_variants(5))
+        ]
+        with PlacementService(cache_size=0) as seq_svc:
+            expected = [seq_svc.solve(r) for r in reqs]
+        with PlacementService(cache_size=0) as bat_svc:
+            got = bat_svc.solve_many(reqs)
+        assert [r.request_id for r in got] == [f"b{n}" for n in range(5)]
+        for exp, resp in zip(expected, got):
+            assert resp.status == exp.status == "ok"
+            assert resp.solver == exp.solver == "multiple-nod-dp"
+            assert resp.n_replicas == exp.n_replicas
+            assert resp.placement == exp.placement
+            assert not resp.diagnostics.cache_hit
+
+    def test_cache_hits_never_reach_the_batch(self):
+        variants = _dp_variants(4)
+        reqs = [SolveRequest(instance=i) for i in variants]
+        with PlacementService(cache_size=32) as svc:
+            warm = svc.solve(reqs[0])
+            responses = svc.solve_many(reqs)
+            assert responses[0].diagnostics.cache_hit
+            assert responses[0].placement == warm.placement
+            assert not any(r.diagnostics.cache_hit for r in responses[1:])
+            # A second pass finds every result cached by the first.
+            again = svc.solve_many(reqs)
+            assert all(r.diagnostics.cache_hit for r in again)
+            assert [r.placement for r in again] == [
+                r.placement for r in responses
+            ]
+
+    def test_mixed_batch_matches_sequential_loop(self, single_d):
+        infeasible = random_tree(
+            3, 4, capacity=2, dmax=None, request_range=(5, 9), seed=1
+        )
+        reqs = [
+            SolveRequest(instance=i) for i in _dp_variants(3)
+        ] + [
+            SolveRequest(instance=single_d),               # pool path
+            SolveRequest(instance=infeasible),             # typed failure
+            SolveRequest(instance=single_d, solver="nope"),  # unknown
+        ]
+        with PlacementService(cache_size=0) as seq_svc:
+            expected = [seq_svc.solve(r) for r in reqs]
+        with PlacementService(cache_size=0) as bat_svc:
+            got = bat_svc.solve_many(reqs)
+        for exp, resp in zip(expected, got):
+            assert resp.status == exp.status
+            assert resp.solver == exp.solver
+            assert resp.n_replicas == exp.n_replicas
+            assert resp.placement == exp.placement
+            if exp.error is not None:
+                assert resp.error is not None
+                assert resp.error.code == exp.error.code
+
+    def test_batched_results_hit_the_wal_like_sequential_ones(self, tmp_path):
+        """Durable state after a batched solve_many equals (a) the state
+        a sequential service builds from the same requests and (b) its
+        own state recovered from the WAL."""
+        reqs = [SolveRequest(instance=i) for i in _dp_variants(4)]
+        bat_dir, seq_dir = tmp_path / "bat", tmp_path / "seq"
+        service = PlacementService(store=StateStore(str(bat_dir), fsync=False))
+        service.solve_many(reqs)
+        fp = service.state_fingerprint()
+        service.close()
+
+        sequential = PlacementService(
+            store=StateStore(str(seq_dir), fsync=False)
+        )
+        for r in reqs:
+            sequential.solve(r)
+        assert sequential.state_fingerprint() == fp
+        sequential.close()
+
+        recovered = PlacementService(
+            store=StateStore(str(bat_dir), fsync=False)
+        )
+        try:
+            assert recovered.state_fingerprint() == fp
+            assert all(
+                r.diagnostics.cache_hit for r in recovered.solve_many(reqs)
+            )
+        finally:
+            recovered.close()
 
 
 class TestStats:
