@@ -6,47 +6,29 @@ graphs are handled by first extracting a good spanning tree.  This
 example walks that full pipeline on a synthetic ISP topology:
 
 1. generate a random geometric-ish mesh of POPs (points of presence)
-   with latency-weighted links and per-POP subscriber demand;
+   with latency-weighted links and per-POP subscriber demand
+   (``repro.instances.build_isp_mesh`` — also available to sweeps as
+   the registered ``isp_mesh`` generator);
 2. extract the shortest-path tree from the datacenter POP
    (``repro.graphs``) — tree distances equal mesh distances;
 3. place replicas under a latency SLA with ``single_gen``;
 4. project the placement back onto mesh vertices and report which POPs
    host replicas.
 
-Run: ``python examples/isp_mesh_to_tree.py``
+Run: ``python examples/isp_mesh_to_tree.py [n_pops] [seed]``
+(defaults: 24 POPs, seed 3; deterministic per seed).
 """
 
-import numpy as np
+import sys
 
 from repro import Policy, check_placement, single_gen
 from repro.core import lower_bound
-from repro.graphs import WeightedGraph, extract_spanning_instance
-from repro.instances import render_tree
+from repro.graphs import extract_spanning_instance
+from repro.instances import build_isp_mesh, render_tree
 
 
-def build_mesh(n_pops: int = 24, seed: int = 3):
-    """Random connected mesh: ring backbone + random chords."""
-    rng = np.random.default_rng(seed)
-    g = WeightedGraph(n_pops)
-    # Ring backbone guarantees connectivity.
-    for i in range(n_pops):
-        g.add_edge(i, (i + 1) % n_pops, float(rng.uniform(1.0, 2.5)))
-    # Chords create shortcuts (what makes tree extraction non-trivial).
-    added = set()
-    for _ in range(n_pops):
-        u, v = sorted(rng.integers(0, n_pops, size=2))
-        if u != v and abs(u - v) > 1 and (u, v) not in added:
-            g.add_edge(int(u), int(v), float(rng.uniform(2.0, 6.0)))
-            added.add((u, v))
-    # Subscriber demand at every POP except the datacenter (vertex 0).
-    demands = {
-        int(v): int(rng.integers(20, 120)) for v in range(1, n_pops)
-    }
-    return g, demands
-
-
-def main() -> None:
-    g, demands = build_mesh()
+def main(n_pops: int = 24, seed: int = 3) -> None:
+    g, demands = build_isp_mesh(n_pops, seed)
     capacity, sla = 300, 7.0
     print(f"mesh: {g.n} POPs, {g.n_edges} links, "
           f"total demand {sum(demands.values())} req/unit")
@@ -62,7 +44,8 @@ def main() -> None:
 
     placement = single_gen(inst)
     check_placement(inst, placement)
-    print(render_tree(inst, placement))
+    if len(inst.tree) <= 80:
+        print(render_tree(inst, placement))
 
     # Project replica nodes back to mesh POPs.
     tree_to_pop = {}
@@ -85,4 +68,7 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(
+        int(sys.argv[1]) if len(sys.argv) > 1 else 24,
+        int(sys.argv[2]) if len(sys.argv) > 2 else 3,
+    )

@@ -85,7 +85,7 @@ from .runner import (
 )
 from .runner import solve as solve_registered
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 # Service- and dynamic-layer names are re-exported lazily (PEP 562) so
 # lightweight consumers — `repro generate`, plain algorithm imports —

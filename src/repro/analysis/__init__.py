@@ -20,6 +20,7 @@ from .experiments import (
     summarize_sweep,
 )
 from .online import online_report, render_online_table
+from .replay import render_replay_table, replay_report
 from .ratios import RatioReport, RatioSample, measure_ratios, policy_gap
 from .report import (
     full_report,
@@ -68,6 +69,8 @@ __all__ = [
     "service_report",
     "online_report",
     "render_online_table",
+    "replay_report",
+    "render_replay_table",
     "full_report",
     "tight_family_report",
     "optimality_report",

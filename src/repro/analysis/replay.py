@@ -1,0 +1,121 @@
+"""Reporting for trace-driven replay runs.
+
+Renders a :class:`~repro.replay.ReplayResult` two ways:
+
+* :func:`replay_report` — a JSON-able dict: run header, per-tick
+  series, and the summary statistics the ROADMAP cares about (cost
+  mean/max, latency mean/p95, repair rate, cache hit rate, invariant
+  violations, the deterministic run fingerprint).  The CI smoke job
+  uploads this artifact and asserts ``violations == []``.
+* :func:`render_replay_table` — a monospace per-tick table for the
+  terminal (one row per tick in engine mode; per-tenant rows are
+  aggregated per tick in service mode).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..replay.runner import ReplayResult, TickRow
+
+__all__ = ["replay_report", "render_replay_table"]
+
+
+def _pct(sorted_vals: Sequence[float], q: float) -> float:
+    idx = min(len(sorted_vals) - 1, max(0, round(q * (len(sorted_vals) - 1))))
+    return sorted_vals[idx]
+
+
+def _series_stats(values: List[float]) -> dict:
+    if not values:
+        return {"mean": None, "p95": None, "max": None}
+    vals = sorted(values)
+    return {
+        "mean": sum(vals) / len(vals),
+        "p95": _pct(vals, 0.95),
+        "max": vals[-1],
+    }
+
+
+def replay_report(result: ReplayResult) -> dict:
+    """JSON-able report of one replay run (header, series, summary)."""
+    costs = [float(r.cost) for r in result.rows if r.cost is not None]
+    lats = [
+        float(r.latency_mean)
+        for r in result.rows
+        if r.latency_mean is not None
+    ]
+    repairs = [r for r in result.rows if r.n_changes > 0]
+    total = len(result.rows)
+    requests = sum(1 for r in result.rows)
+    return {
+        "schema": 1,
+        "run": {
+            "instance": result.instance_name,
+            "instance_fp": result.instance_fp,
+            "n_nodes": result.n_nodes,
+            "n_clients": result.n_clients,
+            "trace": result.trace,
+            "horizon": result.horizon,
+            "seed": result.seed,
+            "tenants": result.tenants,
+            "solver": result.solver,
+            "rate_scale": result.rate_scale,
+            "mode": result.mode,
+            "fingerprint": result.fingerprint(),
+        },
+        "summary": {
+            "ticks": total,
+            "ok_ticks": sum(1 for r in result.rows if r.ok),
+            "cost": _series_stats(costs),
+            "latency": _series_stats(lats),
+            "repair_ms": _series_stats([r.repair_ms for r in repairs]),
+            "repair_rate": (len(repairs) / total) if total else 0.0,
+            "repair_failures": result.repair_failures,
+            "cache_hit_rate": (
+                result.cache_hits / requests
+                if result.mode == "service" and requests
+                else None
+            ),
+            "invariant_checks": result.checks_run,
+            "invariant_violations": len(result.violations),
+        },
+        "violations": [v.to_dict() for v in result.violations],
+        "series": [r.to_dict() for r in result.rows],
+    }
+
+
+def _fmt(v: Optional[float], spec: str = "8.2f") -> str:
+    return format(v, spec) if v is not None else "       —"
+
+
+def render_replay_table(result: ReplayResult, limit: int = 0) -> str:
+    """Monospace per-tick table (``limit`` > 0 truncates, 0 shows all)."""
+    rows: List[str] = [
+        f"{'tick':>5} {'demand':>9} {'changes':>8} {'mode':<20} "
+        f"{'|R|':>6} {'latency':>8} {'repair':>10}"
+    ]
+    by_tick: dict = {}
+    for r in result.rows:
+        by_tick.setdefault(r.tick, []).append(r)
+    ticks = sorted(by_tick)
+    shown = ticks if limit <= 0 else ticks[:limit]
+    for t in shown:
+        group: List[TickRow] = by_tick[t]
+        demand = sum(r.demand_total for r in group)
+        changes = sum(r.n_changes for r in group)
+        costs = [r.cost for r in group if r.cost is not None]
+        lats = [r.latency_mean for r in group if r.latency_mean is not None]
+        repair = sum(r.repair_ms for r in group)
+        mode = group[0].mode if len(group) == 1 else f"{len(group)} tenants"
+        if not all(r.ok for r in group):
+            mode = "FAILED"
+        cost = str(sum(costs)) if costs else "—"
+        lat = (sum(lats) / len(lats)) if lats else None
+        rows.append(
+            f"{t:>5} {demand:>9} {changes:>8} {mode:<20} "
+            f"{cost:>6} {_fmt(lat)} {repair:>8.2f}ms"
+        )
+    if limit > 0 and len(ticks) > limit:
+        rows.append(f"  ... {len(ticks) - limit} more ticks")
+    return "\n".join(rows)

@@ -99,6 +99,21 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    """Argparse type for rates/scales: a strictly positive float."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number, got {text!r}"
+        ) from None
+    if not value > 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number, got {value}"
+        )
+    return value
+
+
 def _nonnegative_int(text: str) -> int:
     """Argparse type for seeds: an integer >= 0."""
     try:
@@ -202,6 +217,19 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         inst = broom(args.internal, args.clients, **common)
     elif kind == "star":
         inst = star(args.clients, **common)
+    elif kind == "mesh":
+        from .instances import isp_mesh
+
+        try:
+            inst = isp_mesh(
+                args.pops,
+                capacity=args.capacity,
+                dmax=args.dmax,
+                seed=args.seed,
+                policy=Policy(args.policy),
+            )
+        except ValueError as exc:
+            raise _CliError(f"generate --kind mesh: {exc}") from None
     else:  # pragma: no cover - argparse restricts choices
         raise ValueError(kind)
     if args.out:
@@ -281,6 +309,14 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.replay and args.online:
+        print(
+            "simulate: --replay and --online are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    if args.replay:
+        return _cmd_simulate_replay(args)
     if args.online:
         return _cmd_simulate_online(args)
     from .simulate import deterministic_trace, poisson_trace, simulate
@@ -309,6 +345,82 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(
             f"  server {s:>4}: peak {res.peak_load(s):>6} / {inst.capacity}"
         )
+    return 0
+
+
+def _cmd_simulate_replay(args: argparse.Namespace) -> int:
+    """``repro simulate --replay``: demand trace vs the dynamic engine."""
+    from .analysis import render_replay_table, replay_report
+    from .core.errors import ReproError
+    from .replay import run_replay
+
+    inst = _load_instance(args.instance)
+    if args.placement is not None:
+        print(
+            "simulate --replay solves its own placements; "
+            "drop the placement argument",
+            file=sys.stderr,
+        )
+        return 2
+    solver = None if args.solver in (None, "auto") else args.solver
+    horizon = args.horizon
+    sample = args.sample
+    check_every = args.check_every
+    if args.quick:
+        horizon = min(horizon, 12)
+        sample = min(sample, 128)
+        check_every = min(check_every or 4, 4)
+    try:
+        result = run_replay(
+            inst,
+            args.trace,
+            horizon=horizon,
+            seed=args.seed,
+            tenants=args.tenants,
+            solver=solver,
+            rate_scale=args.rate_scale,
+            check_every=check_every,
+            sample=sample,
+        )
+    except ValueError as exc:
+        raise _CliError(f"simulate --replay: {exc}") from None
+    except ReproError as exc:
+        print(f"replay failed: {exc}", file=sys.stderr)
+        return 1
+    report = replay_report(result)
+    print(render_replay_table(result, limit=24))
+    s = report["summary"]
+    cost = s["cost"]["mean"]
+    lat = s["latency"]["mean"]
+    head = (
+        f"\n{result.mode} replay of {result.trace!r} over "
+        f"{result.n_nodes} nodes, {result.horizon} ticks"
+    )
+    if result.tenants > 1:
+        head += f" x {result.tenants} tenants"
+    if cost is not None:
+        head += f": cost mean {cost:.1f}"
+    if lat is not None:
+        head += f", latency mean {lat:.3f}"
+    print(head, file=sys.stderr)
+    hit_rate = s["cache_hit_rate"]
+    print(
+        f"repair rate {s['repair_rate']:.2f}; "
+        f"repair failures {s['repair_failures']}; "
+        + (f"cache hit rate {hit_rate:.2f}; " if hit_rate is not None else "")
+        + f"invariants: {s['invariant_checks']} checks, "
+        f"{s['invariant_violations']} violations; "
+        f"fingerprint {report['run']['fingerprint']}",
+        file=sys.stderr,
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if result.violations:
+        for v in result.violations[:5]:
+            print(f"VIOLATION {v}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -847,11 +959,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     g.add_argument(
         "--kind",
-        choices=["random", "binary", "caterpillar", "broom", "star"],
+        choices=["random", "binary", "caterpillar", "broom", "star", "mesh"],
         default="random",
     )
     g.add_argument("--internal", type=int, default=20)
     g.add_argument("--clients", type=int, default=40)
+    g.add_argument("--pops", type=_positive_int, default=24,
+                   help="mesh: number of POPs in the ISP mesh (the "
+                   "extracted tree has roughly 1.6x as many nodes)")
     g.add_argument("--capacity", type=int, required=True)
     g.add_argument("--dmax", type=float, default=None)
     g.add_argument("--policy", choices=["single", "multiple"],
@@ -929,6 +1044,30 @@ def build_parser() -> argparse.ArgumentParser:
                      default="auto",
                      help="online: engine solver (auto picks the "
                      "incremental backend for NoD instances)")
+    sim.add_argument("--replay", action="store_true",
+                     help="feed a demand trace (diurnal/flash/zipf, "
+                     "composable with '+') through the dynamic engine "
+                     "and report cost/latency/repair-rate over time")
+    sim.add_argument("--trace", default="diurnal+flash",
+                     help="replay: trace spec, e.g. 'diurnal+flash' "
+                     "(stationary, diurnal, flash, zipf)")
+    sim.add_argument("--tenants", type=_positive_int, default=1,
+                     help="replay: independent catalogues sharing the "
+                     "tree; >1 solves per tenant through the cached "
+                     "service")
+    sim.add_argument("--rate-scale", type=_positive_float, default=1.0,
+                     help="replay: global multiplier on base demand")
+    sim.add_argument("--check-every", type=_nonnegative_int, default=8,
+                     help="replay: sampled-invariant audit period in "
+                     "ticks (0 disables)")
+    sim.add_argument("--sample", type=_positive_int, default=256,
+                     help="replay: client sample size for latency and "
+                     "invariant checks")
+    sim.add_argument("--quick", action="store_true",
+                     help="replay: CI smoke preset (caps horizon at 12 "
+                     "ticks, sample at 128)")
+    sim.add_argument("--json", default=None, metavar="PATH",
+                     help="replay: also write the full JSON report")
     sim.set_defaults(func=_cmd_simulate)
 
     cmp_ = sub.add_parser(

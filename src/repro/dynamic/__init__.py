@@ -39,6 +39,7 @@ from .events import (
     DemandEvent,
     FailureEvent,
     apply_event,
+    apply_events_batch,
     describe_events,
     event_from_wire,
     event_to_wire,
@@ -65,6 +66,7 @@ __all__ = [
     "CapacityEvent",
     "ChangeEvent",
     "apply_event",
+    "apply_events_batch",
     "random_event_trace",
     "describe_events",
     "event_to_wire",

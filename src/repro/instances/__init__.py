@@ -11,6 +11,7 @@ from .generators import (
     random_tree,
     star,
 )
+from .mesh import build_isp_mesh, isp_mesh
 from .io import (
     dump_instance,
     instance_from_dict,
@@ -30,6 +31,8 @@ __all__ = [
     "star",
     "GENERATORS",
     "make_instance",
+    "build_isp_mesh",
+    "isp_mesh",
     "full_kary",
     "binomial",
     "cdn_hierarchy",

@@ -242,6 +242,7 @@ def _register_generators() -> None:
     # keeps module import acyclic while letting specs name adversarial
     # families (``kind="scenario"``) next to the plain topologies.
     from .families import binomial, cdn_hierarchy, full_kary
+    from .mesh import isp_mesh
     from ..scenarios.families import scenario
 
     GENERATORS.update(
@@ -253,6 +254,7 @@ def _register_generators() -> None:
         full_kary=full_kary,
         binomial=binomial,
         cdn_hierarchy=cdn_hierarchy,
+        isp_mesh=isp_mesh,
         scenario=scenario,
     )
 

@@ -1,0 +1,109 @@
+"""Mesh-extracted instances: ISP-style POP graphs turned into trees.
+
+The paper's model assumes a tree; general networks are handled by first
+extracting a good spanning tree (Section 1).  This module packages that
+pipeline — previously only demonstrated by ``examples/isp_mesh_to_tree.py``
+— as a registered generator, so sweeps, the replay layer, and CI can ask
+for mesh-extracted instances by spec::
+
+    make_instance({"kind": "isp_mesh", "n_pops": 6000, "seed": 3,
+                   "capacity": 300, "dmax": 7.0})
+
+:func:`build_isp_mesh` draws the synthetic ISP topology (ring backbone
++ random chords + per-POP subscriber demand) and :func:`isp_mesh` runs
+the shortest-path-tree extraction from the datacenter POP.  Both are
+deterministic per ``(n_pops, seed)``: the mesh is drawn from one
+``default_rng(seed)`` stream and Dijkstra tie-breaks by vertex index,
+so the same spec always yields a byte-identical instance — the property
+the replay fingerprints and the CI smoke job rely on.
+
+A mesh of ``n_pops`` POPs extracts to roughly ``1.6 × n_pops`` tree
+nodes (every demanding transit POP gains a zero-distance client stub),
+so ``n_pops=6000`` lands in the 10k-node range the large-scale replay
+work targets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.policies import Policy
+from ..graphs import WeightedGraph, extract_spanning_instance
+
+__all__ = ["build_isp_mesh", "isp_mesh"]
+
+
+def build_isp_mesh(
+    n_pops: int = 24,
+    seed: int = 3,
+    *,
+    demand_range: Tuple[int, int] = (20, 120),
+) -> Tuple[WeightedGraph, Dict[int, int]]:
+    """Random connected ISP mesh: ring backbone + random chords.
+
+    Vertex 0 is the datacenter (no subscriber demand); every other POP
+    draws an integer demand from ``demand_range`` (inclusive).  Link
+    latencies: ring edges uniform in [1.0, 2.5), chords in [2.0, 6.0).
+    Returns ``(graph, demands)``.
+    """
+    if n_pops < 3:
+        raise ValueError(f"need at least 3 POPs for a ring, got {n_pops}")
+    lo, hi = demand_range
+    if not 0 < lo <= hi:
+        raise ValueError(f"bad demand range [{lo}, {hi}]")
+    rng = np.random.default_rng(seed)
+    g = WeightedGraph(n_pops)
+    # Ring backbone guarantees connectivity.
+    for i in range(n_pops):
+        g.add_edge(i, (i + 1) % n_pops, float(rng.uniform(1.0, 2.5)))
+    # Chords create shortcuts (what makes tree extraction non-trivial).
+    added = set()
+    for _ in range(n_pops):
+        u, v = sorted(rng.integers(0, n_pops, size=2))
+        if u != v and abs(u - v) > 1 and (u, v) not in added:
+            g.add_edge(int(u), int(v), float(rng.uniform(2.0, 6.0)))
+            added.add((u, v))
+    demands = {
+        int(v): int(rng.integers(lo, hi + 1)) for v in range(1, n_pops)
+    }
+    return g, demands
+
+
+def isp_mesh(
+    n_pops: int = 24,
+    *,
+    capacity: int,
+    dmax: Optional[float] = None,
+    policy: Policy = Policy.SINGLE,
+    demand_range: Tuple[int, int] = (20, 120),
+    seed: int = 3,
+) -> ProblemInstance:
+    """Mesh-extracted instance: shortest-path tree of a random ISP mesh.
+
+    Draws the mesh with :func:`build_isp_mesh` and extracts the
+    shortest-path tree rooted at the datacenter POP (vertex 0), so tree
+    distances equal mesh distances and a ``dmax`` is a genuine latency
+    SLA on the original network.
+    """
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity}")
+    lo, hi = demand_range
+    if hi > capacity:
+        raise ValueError(
+            f"demand range upper bound {hi} exceeds capacity {capacity}; "
+            "single-server feasibility needs r_i <= W"
+        )
+    g, demands = build_isp_mesh(n_pops, seed, demand_range=demand_range)
+    inst, _client_of = extract_spanning_instance(
+        g,
+        root=0,
+        demands=demands,
+        capacity=capacity,
+        dmax=dmax,
+        policy=policy,
+        name=f"isp_mesh(n_pops={n_pops},seed={seed})",
+    )
+    return inst

@@ -1,0 +1,448 @@
+"""Trace-driven replay: feed a demand trace through the dynamic engine.
+
+:func:`run_replay` is the workhorse behind ``repro simulate --replay``.
+Given a (possibly 10k–100k node) instance and a trace spec, it realizes
+the per-tick demand levels (:mod:`repro.replay.traces`) and drives one
+of two paths:
+
+* **engine mode** (``tenants=1``) — one
+  :class:`~repro.dynamic.DynamicPlacement` holds a standing placement;
+  each tick diffs the realized levels against the current snapshot and
+  folds the changed clients into the engine as one
+  :class:`~repro.dynamic.DemandEvent` batch (the batched fold makes a
+  tick O(n + changes), not O(n · changes)).  Per tick it records cost,
+  request-weighted client→replica latency over a seeded client sample,
+  repair mode and repair latency.
+
+* **service mode** (``tenants > 1``) — the multi-tenant story: every
+  tenant's catalogue (:mod:`repro.replay.tenants`) is re-solved each
+  tick through a :class:`~repro.service.PlacementService` with
+  tenant-namespaced cache keys.  Periodic traces (diurnal) revisit
+  demand levels, so after one period the service answers from the
+  per-tenant cache — the recorded hit rate is the point of the mode.
+
+Every ``check_every`` ticks the sampled stress invariants
+(:func:`repro.scenarios.sampled_violations`) audit the standing
+placement; violations are carried in the result and fail the CLI run.
+
+Everything is deterministic per ``(instance, spec, horizon, seed,
+tenants, solver, rate_scale)``; :meth:`ReplayResult.fingerprint` hashes
+exactly the deterministic fields (never wall-clock latencies), so two
+runs of the same spec fingerprint identically — the property the CI
+smoke job asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from hashlib import blake2b
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.placement import Placement
+from ..instances.io import canonical_json
+from ..scenarios.invariants import Violation
+from ..scenarios.sampled import sampled_violations
+from .traces import DemandTrace, make_trace
+
+__all__ = ["TickRow", "ReplayResult", "run_replay"]
+
+
+@dataclass(frozen=True)
+class TickRow:
+    """Measurements of one replay tick (one tenant)."""
+
+    tick: int
+    tenant: int
+    demand_total: int
+    n_changes: int
+    ok: bool
+    mode: str
+    cost: Optional[int]
+    latency_mean: Optional[float]
+    repair_ms: float
+    cache_hit: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "tick": self.tick,
+            "tenant": self.tenant,
+            "demand_total": self.demand_total,
+            "n_changes": self.n_changes,
+            "ok": self.ok,
+            "mode": self.mode,
+            "cost": self.cost,
+            "latency_mean": self.latency_mean,
+            "repair_ms": self.repair_ms,
+            "cache_hit": self.cache_hit,
+        }
+
+
+@dataclass
+class ReplayResult:
+    """Everything one :func:`run_replay` run measured."""
+
+    instance_name: str
+    instance_fp: str
+    n_nodes: int
+    n_clients: int
+    trace: str
+    horizon: int
+    seed: int
+    tenants: int
+    solver: str
+    rate_scale: float
+    mode: str  # "engine" | "service"
+    rows: List[TickRow] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+    checks_run: int = 0
+    repair_failures: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def fingerprint(self) -> str:
+        """Hex digest over the deterministic fields of this run.
+
+        Wall-clock figures (``repair_ms``) and cache temperature
+        (``cache_hit`` — a pre-warmed external service legitimately
+        changes it) are excluded; demand levels, costs, latencies,
+        modes and violations all participate.  Equal fingerprints ⇒
+        the two runs agreed on every decision that matters.
+        """
+        h = blake2b(digest_size=16)
+        h.update(canonical_json({
+            "instance": self.instance_fp,
+            "trace": self.trace,
+            "horizon": self.horizon,
+            "seed": self.seed,
+            "tenants": self.tenants,
+            "solver": self.solver,
+            "rate_scale": self.rate_scale,
+            "mode": self.mode,
+        }).encode())
+        for r in self.rows:
+            h.update(canonical_json({
+                "t": r.tick,
+                "tn": r.tenant,
+                "d": r.demand_total,
+                "c": r.n_changes,
+                "ok": r.ok,
+                "m": r.mode,
+                "cost": r.cost,
+                "lat": (
+                    None if r.latency_mean is None
+                    else round(r.latency_mean, 9)
+                ),
+            }).encode())
+        for v in self.violations:
+            h.update(str(v).encode())
+        return h.hexdigest()
+
+
+def _mean_latency(
+    instance: ProblemInstance,
+    placement: Optional[Placement],
+    sample_clients: List[int],
+) -> Optional[float]:
+    """Request-weighted mean client→server distance over a client sample."""
+    if placement is None:
+        return None
+    by_client: Dict[int, List] = {}
+    for (c, s), amount in placement.assignments.items():
+        by_client.setdefault(c, []).append((s, amount))
+    tree = instance.tree
+    total = 0.0
+    weight = 0
+    for c in sample_clients:
+        for s, amount in by_client.get(c, ()):
+            total += tree.distance_to_ancestor(c, s) * amount
+            weight += amount
+    if weight == 0:
+        return 0.0
+    return total / weight
+
+
+def _client_sample(
+    clients: List[int], sample: int, seed: int
+) -> List[int]:
+    if len(clients) <= sample:
+        return list(clients)
+    rng = np.random.default_rng([seed, 0x5A])
+    idx = rng.choice(len(clients), size=sample, replace=False)
+    return [clients[int(i)] for i in sorted(idx)]
+
+
+def run_replay(
+    instance: ProblemInstance,
+    trace: str = "diurnal+flash",
+    *,
+    horizon: int = 48,
+    seed: int = 0,
+    tenants: int = 1,
+    solver: Optional[str] = None,
+    rate_scale: float = 1.0,
+    check_every: int = 8,
+    sample: int = 256,
+    trace_params: Optional[Dict[str, dict]] = None,
+    service=None,
+) -> ReplayResult:
+    """Replay ``trace`` over ``instance`` for ``horizon`` ticks.
+
+    Parameters
+    ----------
+    instance:
+        The base instance; its demands are the trace's base rates.
+    trace:
+        Trace spec, ``+``-composable (see :data:`repro.replay.TRACES`).
+    horizon:
+        Number of unit-time ticks.
+    seed:
+        Master seed: trace draw, tenant catalogues, client/invariant
+        sampling all derive from it deterministically.
+    tenants:
+        ``1`` → engine mode; ``> 1`` → per-tenant service mode.
+    solver:
+        Forwarded to the engine / service (``None`` auto-selects).
+    rate_scale:
+        Global multiplier on base demand (must be positive).
+    check_every:
+        Run sampled invariants every this many ticks (``0`` disables).
+    sample:
+        Client-sample size for latency and invariant checks.
+    trace_params:
+        Optional per-component overrides, e.g.
+        ``{"flash": {"magnitude": 12.0}}``.
+    service:
+        Service mode only: an existing
+        :class:`~repro.service.PlacementService` to solve through (a
+        fresh private one is created otherwise).
+
+    Raises
+    ------
+    ValueError
+        For an unknown trace name, non-positive horizon/tenants/
+        rate_scale — the CLI's validation surface.
+    InfeasibleInstanceError
+        When the *initial* snapshot admits no placement (engine mode).
+    """
+    if rate_scale <= 0:
+        raise ValueError(f"rate_scale must be positive, got {rate_scale}")
+    if tenants <= 0:
+        raise ValueError(f"tenants must be positive, got {tenants}")
+    if check_every < 0:
+        raise ValueError(f"check_every must be non-negative, got {check_every}")
+    if sample <= 0:
+        raise ValueError(f"sample must be positive, got {sample}")
+    tree = instance.tree
+    clients = list(tree.clients)
+    demand_trace: DemandTrace = make_trace(
+        trace,
+        n_clients=len(clients),
+        horizon=horizon,
+        seed=seed,
+        params=trace_params,
+    )
+    from ..service.fingerprint import instance_fingerprint
+
+    result = ReplayResult(
+        instance_name=instance.name or "instance",
+        instance_fp=instance_fingerprint(instance),
+        n_nodes=len(tree),
+        n_clients=len(clients),
+        trace=demand_trace.spec,
+        horizon=horizon,
+        seed=seed,
+        tenants=tenants,
+        solver=solver or "auto",
+        rate_scale=rate_scale,
+        mode="engine" if tenants == 1 else "service",
+    )
+    sample_clients = _client_sample(clients, sample, seed)
+    if tenants == 1:
+        _replay_engine(
+            instance, clients, demand_trace, result,
+            solver=solver, rate_scale=rate_scale,
+            check_every=check_every, sample=sample,
+            sample_clients=sample_clients, seed=seed,
+        )
+    else:
+        _replay_service(
+            instance, demand_trace, result,
+            solver=solver, rate_scale=rate_scale, tenants=tenants,
+            check_every=check_every, sample=sample,
+            sample_clients=sample_clients, seed=seed, service=service,
+        )
+    return result
+
+
+def _replay_engine(
+    instance: ProblemInstance,
+    clients: List[int],
+    demand_trace: DemandTrace,
+    result: ReplayResult,
+    *,
+    solver: Optional[str],
+    rate_scale: float,
+    check_every: int,
+    sample: int,
+    sample_clients: List[int],
+    seed: int,
+) -> None:
+    from ..dynamic import DemandEvent, DynamicPlacement
+
+    base = np.array(
+        [instance.tree.requests(c) for c in clients], dtype=np.int64
+    )
+    levels = demand_trace.levels(
+        base, capacity=instance.capacity, scale=rate_scale
+    )
+    # Tick 0's levels become the engine's *initial* snapshot, so the
+    # whole run — including the first placement — reflects the trace.
+    first = _with_levels(instance, clients, levels[0])
+    engine = DynamicPlacement(first, solver=solver)
+    current = levels[0].copy()
+    for t in range(demand_trace.horizon):
+        changed = np.nonzero(levels[t] != current)[0]
+        if t == 0 or len(changed) == 0:
+            placement = engine.placement
+            result.rows.append(TickRow(
+                tick=t,
+                tenant=0,
+                demand_total=int(levels[t].sum()),
+                n_changes=0,
+                ok=placement is not None,
+                mode="steady",
+                cost=placement.n_replicas if placement is not None else None,
+                latency_mean=_mean_latency(
+                    engine.instance, placement, sample_clients
+                ),
+                repair_ms=0.0,
+            ))
+        else:
+            batch = [
+                DemandEvent(clients[int(i)], int(levels[t, i]))
+                for i in changed
+            ]
+            outcome = engine.apply(batch)
+            current[changed] = levels[t, changed]
+            result.rows.append(TickRow(
+                tick=t,
+                tenant=0,
+                demand_total=int(levels[t].sum()),
+                n_changes=len(batch),
+                ok=outcome.ok,
+                mode=outcome.mode,
+                cost=outcome.cost,
+                latency_mean=_mean_latency(
+                    engine.instance, outcome.placement, sample_clients
+                ),
+                repair_ms=outcome.repair_s * 1e3,
+            ))
+        if check_every and t % check_every == 0 and engine.placement is not None:
+            result.checks_run += 1
+            result.violations.extend(sampled_violations(
+                engine.instance,
+                engine.placement,
+                seed=seed + t,
+                max_clients=sample,
+                cell=f"tick {t}",
+                solver=engine.solver_name,
+            ))
+    result.repair_failures = engine.stats().repair_failures
+
+
+def _replay_service(
+    instance: ProblemInstance,
+    demand_trace: DemandTrace,
+    result: ReplayResult,
+    *,
+    solver: Optional[str],
+    rate_scale: float,
+    tenants: int,
+    check_every: int,
+    sample: int,
+    sample_clients: List[int],
+    seed: int,
+    service,
+) -> None:
+    from ..service import PlacementService
+    from .tenants import tenant_instances
+
+    own_service = service is None
+    svc = PlacementService(cache_size=4 * tenants * demand_trace.horizon) \
+        if own_service else service
+    try:
+        catalogues = tenant_instances(instance, tenants, seed=seed)
+        clients = list(instance.tree.clients)
+        bases = [
+            np.array(
+                [cat.tree.requests(c) for c in clients], dtype=np.int64
+            )
+            for cat in catalogues
+        ]
+        level_matrices = [
+            demand_trace.levels(
+                bases[k], capacity=cat.capacity, scale=rate_scale
+            )
+            for k, cat in enumerate(catalogues)
+        ]
+        for t in range(demand_trace.horizon):
+            for k, cat in enumerate(catalogues):
+                lv = level_matrices[k][t]
+                inst_t = _with_levels(cat, clients, lv)
+                resp = svc.solve_instance(
+                    inst_t, solver, tenant=f"tenant-{k}"
+                )
+                hit = bool(resp.diagnostics.cache_hit)
+                result.cache_hits += int(hit)
+                result.cache_misses += int(not hit)
+                result.rows.append(TickRow(
+                    tick=t,
+                    tenant=k,
+                    demand_total=int(lv.sum()),
+                    n_changes=0,
+                    ok=resp.ok,
+                    mode=f"service:{resp.status}",
+                    cost=resp.n_replicas,
+                    latency_mean=_mean_latency(
+                        inst_t, resp.placement, sample_clients
+                    ),
+                    repair_ms=resp.diagnostics.service_ms,
+                    cache_hit=hit,
+                ))
+                if (
+                    check_every
+                    and t % check_every == 0
+                    and resp.placement is not None
+                ):
+                    result.checks_run += 1
+                    result.violations.extend(sampled_violations(
+                        inst_t,
+                        resp.placement,
+                        seed=seed + t,
+                        max_clients=sample,
+                        cell=f"tick {t} tenant {k}",
+                        solver=resp.solver or "-",
+                    ))
+    finally:
+        if own_service:
+            svc.close()
+
+
+def _with_levels(
+    instance: ProblemInstance, clients: List[int], levels: np.ndarray
+) -> ProblemInstance:
+    """``instance`` with client demands replaced by ``levels``."""
+    tree = instance.tree
+    requests = [0] * len(tree)
+    for c, lvl in zip(clients, levels):
+        requests[c] = int(lvl)
+    return ProblemInstance(
+        tree.with_requests(requests),
+        instance.capacity,
+        instance.dmax,
+        instance.policy,
+        instance.name,
+    )

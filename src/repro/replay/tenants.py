@@ -1,0 +1,66 @@
+"""Multi-tenant instances: independent catalogues sharing one tree.
+
+A CDN-style deployment places many *object catalogues* (tenants) over
+the same physical topology; each tenant has its own demand vector and
+its own placement, solved and cached independently.  This module derives
+tenant instances from a base instance:
+
+* tenant ``0`` **is** the base instance — its demands untouched;
+* tenant ``k > 0`` gets a seeded transformation of the base demands:
+  a permutation of the demand levels across clients (total volume is
+  preserved, its *distribution* is tenant-specific) plus a per-tenant
+  scale factor, capped at ``W`` so the model's ``r_i ≤ W`` precondition
+  survives.
+
+Deterministic per ``(seed, tenant)`` via ``default_rng([seed, tenant])``
+seed sequences — the same property the replay fingerprint and the
+per-tenant service cache keys rely on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+
+__all__ = ["tenant_instance", "tenant_instances"]
+
+
+def tenant_instance(
+    base: ProblemInstance, tenant: int, *, seed: int = 0
+) -> ProblemInstance:
+    """The instance tenant ``tenant`` sees over ``base``'s tree."""
+    if tenant < 0:
+        raise ValueError(f"tenant must be non-negative, got {tenant}")
+    if tenant == 0:
+        return base
+    tree = base.tree
+    rng = np.random.default_rng([seed, tenant])
+    clients = list(tree.clients)
+    levels = np.array([tree.requests(c) for c in clients], dtype=np.int64)
+    levels = levels[rng.permutation(len(levels))]
+    scale = float(rng.uniform(0.5, 1.5))
+    levels = np.clip(
+        np.rint(levels * scale), 0, base.capacity
+    ).astype(np.int64)
+    requests = [0] * len(tree)
+    for c, lvl in zip(clients, levels):
+        requests[c] = int(lvl)
+    return ProblemInstance(
+        tree.with_requests(requests),
+        base.capacity,
+        base.dmax,
+        base.policy,
+        name=f"{base.name or 'instance'}#tenant{tenant}",
+    )
+
+
+def tenant_instances(
+    base: ProblemInstance, n_tenants: int, *, seed: int = 0
+) -> List[ProblemInstance]:
+    """Tenants ``0..n_tenants-1`` (tenant 0 is ``base`` itself)."""
+    if n_tenants <= 0:
+        raise ValueError(f"n_tenants must be positive, got {n_tenants}")
+    return [tenant_instance(base, k, seed=seed) for k in range(n_tenants)]

@@ -1,0 +1,214 @@
+"""Demand-trace generators: time-varying modulation of base demand.
+
+The paper's model is stationary; production traffic is not.  A *demand
+trace* turns a static instance into a time series by modulating every
+client's base rate ``r_i`` with a per-client, per-tick multiplier
+``m_i(t)``: the realized level at tick ``t`` is
+``min(W, round(r_i · scale · m_i(t)))``.
+
+The catalogue (:data:`TRACES`) holds the shapes that made trace-driven
+replay meaningful in industrial reproductions:
+
+* ``stationary`` — ``m ≡ 1``; the paper's own model, the control.
+* ``diurnal`` — a daily sine with a per-client phase offset (clients
+  are geographically spread, so their peaks are not aligned).
+* ``flash`` — flash crowds: a few seeded spike events, each picking a
+  hotspot subset of clients whose demand ramps up and decays again.
+* ``zipf`` — a Zipf popularity mixture: at any tick a small head of
+  clients carries most of the traffic, and the head *drifts* over time
+  (rotating the popularity ranking), the way content hotness migrates.
+
+Traces compose with ``+`` in the spec name — ``"diurnal+flash"``
+multiplies the component modulations elementwise.  Everything is
+deterministic per ``(spec, n_clients, horizon, seed)``: each component
+draws from ``default_rng([seed, k])`` where ``k`` is its position in
+the composition, so reordering components changes the trace but
+re-running never does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+import numpy as np
+
+__all__ = ["TRACES", "DemandTrace", "make_trace", "trace_names"]
+
+
+@dataclass(frozen=True)
+class DemandTrace:
+    """A realized modulation matrix: ``m[t, i]`` ≥ 0, mean ≈ 1 per tick.
+
+    ``modulation`` has shape ``(horizon, n_clients)``; ``levels`` maps
+    a base-demand vector to the integer per-tick levels.
+    """
+
+    spec: str
+    seed: int
+    modulation: np.ndarray = field(repr=False)
+
+    @property
+    def horizon(self) -> int:
+        return int(self.modulation.shape[0])
+
+    @property
+    def n_clients(self) -> int:
+        return int(self.modulation.shape[1])
+
+    def levels(
+        self, base: np.ndarray, *, capacity: int, scale: float = 1.0
+    ) -> np.ndarray:
+        """Integer demand levels, shape ``(horizon, n_clients)``.
+
+        ``min(W, round(base · scale · m))`` — the capacity cap keeps
+        Single-policy instances feasible per the model's ``r_i ≤ W``
+        precondition (same convention as ``random_event_trace``).
+        """
+        raw = np.rint(base[None, :] * scale * self.modulation)
+        return np.clip(raw, 0, capacity).astype(np.int64)
+
+
+def _stationary(
+    rng: np.random.Generator, n: int, T: int
+) -> np.ndarray:
+    return np.ones((T, n))
+
+
+def _diurnal(
+    rng: np.random.Generator,
+    n: int,
+    T: int,
+    *,
+    period: int = 24,
+    amplitude: float = 0.6,
+) -> np.ndarray:
+    """Daily sine, per-client phase: ``1 + a·sin(2πt/period + φ_i)``."""
+    if not 0.0 <= amplitude <= 1.0:
+        raise ValueError(f"diurnal amplitude must be in [0, 1], got {amplitude}")
+    if period <= 0:
+        raise ValueError(f"diurnal period must be positive, got {period}")
+    phase = rng.uniform(0.0, 2.0 * np.pi, size=n)
+    t = np.arange(T)[:, None]
+    return 1.0 + amplitude * np.sin(2.0 * np.pi * t / period + phase[None, :])
+
+
+def _flash(
+    rng: np.random.Generator,
+    n: int,
+    T: int,
+    *,
+    n_events: int = 2,
+    hot_fraction: float = 0.05,
+    magnitude: float = 8.0,
+    ramp: int = 2,
+) -> np.ndarray:
+    """Flash crowds: spikes hitting a random hotspot subset, with decay.
+
+    Each event picks a tick, a hotspot of ``hot_fraction·n`` clients and
+    ramps their multiplier from 1 up to ``magnitude`` and back down over
+    ``ramp`` ticks on each side.  Off-hotspot clients are untouched.
+    """
+    if n_events < 0:
+        raise ValueError(f"flash n_events must be non-negative, got {n_events}")
+    if not 0.0 < hot_fraction <= 1.0:
+        raise ValueError(
+            f"flash hot_fraction must be in (0, 1], got {hot_fraction}"
+        )
+    if magnitude < 1.0:
+        raise ValueError(f"flash magnitude must be >= 1, got {magnitude}")
+    if ramp < 1:
+        raise ValueError(f"flash ramp must be >= 1, got {ramp}")
+    m = np.ones((T, n))
+    hot_size = max(1, int(round(hot_fraction * n)))
+    for _ in range(n_events):
+        peak = int(rng.integers(0, T))
+        hot = rng.choice(n, size=hot_size, replace=False)
+        for t in range(max(0, peak - ramp), min(T, peak + ramp + 1)):
+            # Linear ramp to the peak and back: 1 at distance `ramp`,
+            # `magnitude` at the peak tick itself.
+            frac = 1.0 - abs(t - peak) / ramp if ramp else 1.0
+            frac = max(0.0, frac)
+            boost = 1.0 + (magnitude - 1.0) * frac
+            m[t, hot] = np.maximum(m[t, hot], boost)
+    return m
+
+
+def _zipf(
+    rng: np.random.Generator,
+    n: int,
+    T: int,
+    *,
+    exponent: float = 1.1,
+    drift_every: int = 8,
+) -> np.ndarray:
+    """Zipf popularity mixture with a drifting hot set.
+
+    Clients get Zipf weights ``rank^-s`` under a random ranking that is
+    re-drawn every ``drift_every`` ticks; weights are normalized to mean
+    1 so total traffic volume stays comparable to the base instance.
+    """
+    if exponent <= 0:
+        raise ValueError(f"zipf exponent must be positive, got {exponent}")
+    if drift_every <= 0:
+        raise ValueError(f"zipf drift_every must be positive, got {drift_every}")
+    weights = np.arange(1, n + 1, dtype=float) ** (-exponent)
+    weights *= n / weights.sum()  # mean 1
+    m = np.empty((T, n))
+    perm = rng.permutation(n)
+    for t in range(T):
+        if t and t % drift_every == 0:
+            perm = rng.permutation(n)
+        m[t] = weights[perm]
+    return m
+
+
+#: Trace name -> component generator ``(rng, n_clients, horizon, **params)``.
+TRACES: Dict[str, Callable[..., np.ndarray]] = {
+    "stationary": _stationary,
+    "diurnal": _diurnal,
+    "flash": _flash,
+    "zipf": _zipf,
+}
+
+
+def trace_names() -> List[str]:
+    """Registered trace names, sorted (composable with ``+``)."""
+    return sorted(TRACES)
+
+
+def make_trace(
+    spec: str,
+    *,
+    n_clients: int,
+    horizon: int,
+    seed: int = 0,
+    params: Dict[str, dict] = None,
+) -> DemandTrace:
+    """Build the modulation matrix for ``spec`` (e.g. ``"diurnal+flash"``).
+
+    ``params`` optionally overrides per-component knobs by trace name,
+    e.g. ``{"flash": {"magnitude": 12.0}}``.  Raises ``ValueError`` for
+    an unknown or empty component name — the CLI maps that to its usual
+    one-line rc-2 error.
+    """
+    if n_clients <= 0:
+        raise ValueError(f"n_clients must be positive, got {n_clients}")
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    names = [p.strip() for p in str(spec).split("+")]
+    if not names or any(not p for p in names):
+        raise ValueError(f"malformed trace spec {spec!r}")
+    for name in names:
+        if name not in TRACES:
+            known = ", ".join(trace_names())
+            raise ValueError(
+                f"unknown trace {name!r}; known traces: {known} "
+                "(compose with '+')"
+            )
+    params = params or {}
+    m = np.ones((horizon, n_clients))
+    for k, name in enumerate(names):
+        rng = np.random.default_rng([seed, k])
+        m *= TRACES[name](rng, n_clients, horizon, **params.get(name, {}))
+    return DemandTrace(spec="+".join(names), seed=seed, modulation=m)

@@ -46,6 +46,7 @@ from .invariants import (
     check_flat_reference_identity,
     check_incremental_parity,
 )
+from .sampled import sampled_violations
 from .traces import failure_storm_trace
 
 __all__ = [
@@ -58,6 +59,7 @@ __all__ = [
     "scenario",
     "scenario_spec",
     "failure_storm_trace",
+    "sampled_violations",
     "Violation",
     "INVARIANTS",
     "REFERENCE_PAIRS",

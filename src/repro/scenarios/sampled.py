@@ -1,0 +1,120 @@
+"""Sampled stress invariants for large instances.
+
+The full independent checker (:func:`repro.core.validation
+.placement_violations`) walks every assignment of every client — exact,
+but at replay scale (10k–100k nodes, one check per tick) it dominates
+the tick budget.  This module trades completeness for a seeded sample:
+
+* **global checks stay exact** — capacity (per-server loads) and
+  replica registration are aggregate properties, cheap at any size;
+* **per-client checks are sampled** — completeness, policy, ancestry
+  and distance are verified for ``max_clients`` clients drawn
+  deterministically per seed, plus every client that currently has an
+  assignment to an unregistered server (those are always suspicious).
+
+A clean sampled check is *evidence*, not proof — the replay harness
+runs it every ``check_every`` ticks and the conformance suite keeps the
+exact checker authoritative at small scale.  Violations reuse the
+:class:`~repro.scenarios.invariants.Violation` row shape so stress and
+replay reports render identically.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.placement import Placement
+from ..core.policies import Policy
+from .invariants import Violation
+
+__all__ = ["sampled_violations"]
+
+
+def sampled_violations(
+    instance: ProblemInstance,
+    placement: Placement,
+    *,
+    seed: int = 0,
+    max_clients: int = 256,
+    cell: str = "replay",
+    solver: str = "-",
+) -> List[Violation]:
+    """Sampled model-constraint check of ``placement`` on ``instance``.
+
+    Exact on global constraints (capacity, replica registration),
+    sampled over at most ``max_clients`` clients for the per-client
+    ones.  Returns :class:`Violation` rows; empty means the sample is
+    clean.
+    """
+    if max_clients <= 0:
+        raise ValueError(f"max_clients must be positive, got {max_clients}")
+    tree = instance.tree
+    W = instance.capacity
+    dmax = instance.dmax
+    n = len(tree)
+    out: List[Violation] = []
+
+    def flag(invariant: str, detail: str) -> None:
+        out.append(
+            Violation(invariant=invariant, cell=cell, solver=solver, detail=detail)
+        )
+
+    # -- exact global checks ------------------------------------------
+    replicas = placement.replicas
+    for r in replicas:
+        if not 0 <= r < n:
+            flag("registration", f"replica {r} is not a node of the tree")
+    for s, load in placement.loads().items():
+        if s not in replicas:
+            flag("registration", f"server {s} carries load but is not in R")
+        if load > W:
+            flag("capacity", f"server {s} processes {load} > W={W}")
+
+    # -- sampled per-client checks ------------------------------------
+    clients = list(tree.clients)
+    if len(clients) > max_clients:
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(len(clients), size=max_clients, replace=False)
+        sample = [clients[int(i)] for i in sorted(idx)]
+    else:
+        sample = clients
+
+    by_client: dict = {}
+    for (c, s), amount in placement.assignments.items():
+        by_client.setdefault(c, []).append((s, amount))
+
+    single = instance.policy is Policy.SINGLE
+    for c in sample:
+        r = tree.requests(c)
+        assigned = by_client.get(c, [])
+        got = sum(a for _s, a in assigned)
+        if got != r:
+            flag(
+                "completeness",
+                f"client {c} has {r} requests but {got} are assigned",
+            )
+        if single and r > 0 and len({s for s, _a in assigned}) > 1:
+            servers = sorted({s for s, _a in assigned})
+            flag("policy", f"Single violated: client {c} uses servers {servers}")
+        for s, _amount in assigned:
+            if not 0 <= s < n:
+                flag("registration", f"client {c} assigned to non-node {s}")
+                continue
+            if not tree.is_ancestor(s, c):
+                flag(
+                    "ancestry",
+                    f"server {s} is not on the root path of client {c}",
+                )
+                continue
+            if dmax is not None:
+                d = tree.distance_to_ancestor(c, s)
+                if d > dmax:
+                    flag(
+                        "distance",
+                        f"client {c} served by {s} at distance {d} > "
+                        f"dmax={dmax}",
+                    )
+    return out

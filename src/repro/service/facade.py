@@ -268,7 +268,9 @@ class PlacementService:
         """
         t0 = time.perf_counter()
         inst_fp = instance_fingerprint(request.instance)
-        fp = combine_fingerprint(inst_fp, request.solver, request.budget)
+        fp = combine_fingerprint(
+            inst_fp, request.solver, request.budget, request.tenant
+        )
 
         cached = self._cache.get(fp)
         if cached is not None:
@@ -397,6 +399,7 @@ class PlacementService:
         budget: Optional[int] = None,
         include_assignments: bool = True,
         request_id: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> SolveResponse:
         """:meth:`solve` without building the request by hand."""
         return self.solve(
@@ -406,6 +409,7 @@ class PlacementService:
                 budget=budget,
                 include_assignments=include_assignments,
                 request_id=request_id,
+                tenant=tenant,
             )
         )
 
@@ -464,7 +468,7 @@ class PlacementService:
     def _is_cached(self, request: SolveRequest) -> bool:
         inst_fp = instance_fingerprint(request.instance)
         return combine_fingerprint(
-            inst_fp, request.solver, request.budget
+            inst_fp, request.solver, request.budget, request.tenant
         ) in self._cache
 
     def _solve_batched(

@@ -142,6 +142,13 @@ class SolveRequest:
     ``solver=None`` asks the service to auto-select from the registry's
     applicability metadata (see :mod:`repro.service.selection` for the
     documented fallback chain); an explicit name is always honoured.
+
+    ``tenant`` namespaces the result-cache key (multi-tenant replay:
+    many catalogues share one tree but must not share cache entries).
+    ``None`` — the default, and the only value older clients can send —
+    keys identically to the pre-tenant wire format, so the field is
+    additive: it is omitted from ``to_wire()`` when unset and tolerated
+    as absent by ``from_wire()``.
     """
 
     instance: ProblemInstance
@@ -149,9 +156,10 @@ class SolveRequest:
     budget: Optional[int] = None
     include_assignments: bool = True
     request_id: Optional[str] = None
+    tenant: Optional[str] = None
 
     def to_wire(self) -> dict:
-        return {
+        wire = {
             "schema": WIRE_SCHEMA_VERSION,
             "instance": instance_to_dict(self.instance),
             "solver": self.solver,
@@ -159,6 +167,9 @@ class SolveRequest:
             "include_assignments": self.include_assignments,
             "request_id": self.request_id,
         }
+        if self.tenant is not None:
+            wire["tenant"] = self.tenant
+        return wire
 
     @classmethod
     def from_wire(cls, data: object) -> "SolveRequest":
@@ -188,12 +199,16 @@ class SolveRequest:
             not isinstance(budget, int) or isinstance(budget, bool)
         ):
             raise WireFormatError("'budget' must be an integer or null")
+        tenant = data.get("tenant")
+        if tenant is not None and not isinstance(tenant, str):
+            raise WireFormatError("'tenant' must be a string or null")
         return cls(
             instance=instance,
             solver=solver,
             budget=budget,
             include_assignments=bool(data.get("include_assignments", True)),
             request_id=data.get("request_id"),
+            tenant=tenant,
         )
 
 

@@ -17,7 +17,13 @@ from .events import EventQueue
 from .failures import RepairResult, failure_study, repair_placement
 from .metrics import ascii_histogram, latency_histogram, utilisation_table
 from .online import OnlineResult, OnlineStep, run_online
-from .workload import Request, deterministic_trace, iter_units, poisson_trace
+from .workload import (
+    Request,
+    deterministic_trace,
+    iter_units,
+    poisson_trace,
+    validate_horizon,
+)
 
 __all__ = [
     "OnlineResult",
@@ -28,6 +34,7 @@ __all__ = [
     "deterministic_trace",
     "poisson_trace",
     "iter_units",
+    "validate_horizon",
     "simulate",
     "SimulationResult",
     "RepairResult",

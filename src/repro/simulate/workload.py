@@ -11,18 +11,31 @@ horizon of ``T`` time units, either:
   realistic reading; per-unit load fluctuates around the static
   assignment, letting experiments quantify how much headroom the static
   capacity check leaves).
+
+Both generators share one horizon contract (:func:`validate_horizon`):
+a positive integer number of unit windows.  Non-stationary demand
+traces — diurnal cycles, flash crowds, Zipf mixtures — live one layer
+up in :mod:`repro.replay`, which drives the *dynamic* engine instead of
+a fixed placement.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import Iterator, List, Optional, Union
 
 import numpy as np
 
 from ..core.tree import Tree
 
-__all__ = ["Request", "deterministic_trace", "poisson_trace", "iter_units"]
+__all__ = [
+    "Request",
+    "deterministic_trace",
+    "poisson_trace",
+    "iter_units",
+    "validate_horizon",
+]
 
 
 @dataclass(frozen=True)
@@ -33,17 +46,41 @@ class Request:
     client: int
 
 
-def deterministic_trace(tree: Tree, horizon: int) -> List[Request]:
-    """Evenly spaced arrivals: ``r_i`` per unit for ``horizon`` units."""
+def validate_horizon(horizon: Union[int, float]) -> int:
+    """Normalise a horizon to a positive integer number of unit windows.
+
+    Accepts an ``int`` or an integral ``float`` (``5.0`` is five units);
+    anything non-positive, non-finite or fractional raises
+    ``ValueError``.  Both trace generators and the replay layer share
+    this contract, so ``deterministic_trace`` and ``poisson_trace`` can
+    no longer drift apart on what "horizon" means.
+    """
+    if isinstance(horizon, bool) or not isinstance(horizon, (int, float)):
+        raise ValueError(
+            f"horizon must be a number of unit windows, got "
+            f"{type(horizon).__name__}"
+        )
+    if not math.isfinite(horizon):
+        raise ValueError(f"horizon must be finite, got {horizon!r}")
+    if horizon != int(horizon):
+        raise ValueError(
+            f"horizon must be a whole number of unit windows, got {horizon!r}"
+        )
     if horizon <= 0:
         raise ValueError("horizon must be positive")
+    return int(horizon)
+
+
+def deterministic_trace(tree: Tree, horizon: Union[int, float]) -> List[Request]:
+    """Evenly spaced arrivals: ``r_i`` per unit for ``horizon`` units."""
+    T = validate_horizon(horizon)
     out: List[Request] = []
     for c in tree.clients:
         r = tree.requests(c)
         if r == 0:
             continue
         step = 1.0 / r
-        for unit in range(horizon):
+        for unit in range(T):
             for k in range(r):
                 out.append(Request(unit + k * step, c))
     out.sort(key=lambda q: q.time)
@@ -51,35 +88,59 @@ def deterministic_trace(tree: Tree, horizon: int) -> List[Request]:
 
 
 def poisson_trace(
-    tree: Tree, horizon: float, seed: int = 0
+    tree: Tree, horizon: Union[int, float], seed: int = 0
 ) -> List[Request]:
-    """Poisson arrivals at rate ``r_i`` per client over ``horizon``."""
-    if horizon <= 0:
-        raise ValueError("horizon must be positive")
+    """Poisson arrivals at rate ``r_i`` per client over ``horizon`` units."""
+    T = validate_horizon(horizon)
     rng = np.random.default_rng(seed)
     out: List[Request] = []
     for c in tree.clients:
         r = tree.requests(c)
         if r == 0:
             continue
-        n = rng.poisson(r * horizon)
-        times = rng.uniform(0.0, horizon, size=n)
+        n = rng.poisson(r * T)
+        times = rng.uniform(0.0, T, size=n)
         out.extend(Request(float(t), c) for t in times)
     out.sort(key=lambda q: q.time)
     return out
 
 
-def iter_units(requests: List[Request]) -> Iterator[List[Request]]:
-    """Group a sorted trace into unit-length windows ``[k, k+1)``."""
-    if not requests:
-        return
+def iter_units(
+    requests: List[Request], horizon: Optional[Union[int, float]] = None
+) -> Iterator[List[Request]]:
+    """Group a sorted trace into unit-length windows ``[k, k+1)``.
+
+    Windows are anchored at unit 0 — wall clock, not the first arrival
+    — and idle windows are yielded as empty lists, so the windows
+    partition ``[0, horizon)`` exactly: a trace whose first request
+    arrives at ``t=2.5`` yields two empty windows first instead of
+    silently dropping them, and a trace that goes quiet before the
+    horizon still yields its trailing idle windows.  Without an explicit
+    ``horizon`` the iteration ends after the window containing the last
+    request.
+    """
+    T = None if horizon is None else validate_horizon(horizon)
+    if requests:
+        first = requests[0].time
+        if first < 0:
+            raise ValueError(f"request at negative time {first!r}")
     unit: List[Request] = []
-    current = int(requests[0].time)
+    current = 0
     for q in requests:
         k = int(q.time)
+        if k < current:
+            raise ValueError("trace is not sorted by time")
+        if T is not None and k >= T:
+            break
         while k > current:
             yield unit
             unit = []
             current += 1
         unit.append(q)
-    yield unit
+    if requests or T is not None:
+        yield unit
+        current += 1
+    if T is not None:
+        while current < T:
+            yield []
+            current += 1

@@ -9,10 +9,12 @@ from repro.algorithms import multiple_bin, single_gen
 from repro.instances import random_binary_tree, random_tree
 from repro.simulate import (
     EventQueue,
+    Request,
     deterministic_trace,
     iter_units,
     poisson_trace,
     simulate,
+    validate_horizon,
 )
 
 
@@ -81,6 +83,71 @@ class TestTraces:
         units = list(iter_units(trace))
         assert len(units) == 3
         assert all(len(u) == 14 for u in units)
+
+    def test_unified_horizon_contract(self, paper_example):
+        # Both generators accept ints and integral floats identically.
+        t = paper_example.tree
+        assert len(deterministic_trace(t, 2)) == len(deterministic_trace(t, 2.0))
+        a = poisson_trace(t, 3, seed=1)
+        b = poisson_trace(t, 3.0, seed=1)
+        assert [(r.time, r.client) for r in a] == [(r.time, r.client) for r in b]
+        for bad in (-1, 2.5, float("inf"), float("nan"), "5", True):
+            with pytest.raises(ValueError):
+                validate_horizon(bad)
+        assert validate_horizon(5.0) == 5
+
+
+class TestIterUnitsWindows:
+    """The `iter_units` windows must partition [0, horizon) exactly."""
+
+    def test_leading_gap_not_dropped(self):
+        # Regression: a trace starting at t=2.5 used to silently drop
+        # units 0-1, misaligning per-unit load with wall clock.
+        trace = [Request(2.5, 7), Request(2.75, 8)]
+        units = list(iter_units(trace))
+        assert [len(u) for u in units] == [0, 0, 2]
+
+    def test_trailing_idle_units_through_horizon(self):
+        trace = [Request(0.5, 1)]
+        units = list(iter_units(trace, horizon=5))
+        assert [len(u) for u in units] == [1, 0, 0, 0, 0]
+
+    def test_interior_gaps_preserved(self):
+        trace = [Request(0.1, 1), Request(3.9, 2), Request(4.0, 2)]
+        units = list(iter_units(trace, horizon=6))
+        assert [len(u) for u in units] == [1, 0, 0, 1, 1, 0]
+
+    def test_empty_trace_with_horizon(self):
+        assert [len(u) for u in iter_units([], horizon=3)] == [0, 0, 0]
+
+    def test_empty_trace_without_horizon(self):
+        assert list(iter_units([])) == []
+
+    def test_requests_beyond_horizon_excluded(self):
+        trace = [Request(0.5, 1), Request(7.5, 2)]
+        units = list(iter_units(trace, horizon=3))
+        assert [len(u) for u in units] == [1, 0, 0]
+
+    def test_unsorted_trace_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_units([Request(2.0, 1), Request(0.5, 2)]))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_units([Request(-0.5, 1)]))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_partition_property(self, seed, paper_example):
+        # Counts sum to the trace length (within horizon), window count
+        # equals the horizon, and each request lands in window int(t).
+        horizon = 6
+        trace = poisson_trace(paper_example.tree, horizon, seed=seed)
+        units = list(iter_units(trace, horizon=horizon))
+        assert len(units) == horizon
+        in_horizon = [r for r in trace if r.time < horizon]
+        assert sum(len(u) for u in units) == len(in_horizon)
+        for k, unit in enumerate(units):
+            assert all(int(r.time) == k for r in unit)
 
 
 class TestSimulation:
